@@ -1,0 +1,148 @@
+// E10 (paper §3.4): snooping vs directory coherence at scale.
+//
+// The same sharing workload (every core increments its own word of a
+// private line, plus reads of one shared line) runs on (a) the atomic
+// snooping bus and (b) the directory protocol over a mesh.  Shape
+// expectation: the snooping bus serializes every transaction globally, so
+// completion time grows steeply with core count; the directory overlaps
+// independent lines and scales, winning beyond a small crossover.
+#include "bench_util.hpp"
+
+using namespace liberty;
+using namespace liberty::bench;
+
+namespace {
+
+std::string worker(int id, int iters) {
+  // Private accumulation line + periodic read of the shared line at 64.
+  const int addr = 256 + id * 8;  // distinct lines (line_words = 4)
+  return "  li r2, 0\n"
+         "  li r3, " + std::to_string(iters) + "\n"
+         "loop:\n"
+         "  lw r1, " + std::to_string(addr) + "(r0)\n"
+         "  addi r1, r1, 1\n"
+         "  sw r1, " + std::to_string(addr) + "(r0)\n"
+         "  lw r4, 64(r0)\n"
+         "  addi r2, r2, 1\n"
+         "  blt r2, r3, loop\n"
+         "  halt\n";
+}
+
+struct Outcome {
+  std::uint64_t cycles = 0;
+  std::uint64_t messages = 0;  // bus transactions / directory messages
+};
+
+Outcome run_snoop(int cores, int iters) {
+  core::Netlist nl;
+  auto& bus = nl.make<ccl::Bus>("bus", core::Params().set("occupancy", 1));
+  auto& mem = nl.make<mpl::SnoopMemory>(
+      "mem", core::Params().set("line_words", 4).set("latency", 8));
+  std::vector<upl::SimpleCpu*> cpus;
+  for (int i = 0; i < cores; ++i) {
+    auto& cpu = nl.make<upl::SimpleCpu>("cpu" + std::to_string(i),
+                                        core::Params());
+    auto& l1 = nl.make<mpl::SnoopCache>(
+        "l1_" + std::to_string(i),
+        core::Params().set("id", i).set("sets", 16).set("line_words", 4));
+    cpu.set_program(upl::assemble(worker(i, iters)));
+    cpus.push_back(&cpu);
+    nl.connect(cpu.out("mem_req"), l1.in("cpu_req"));
+    nl.connect(l1.out("cpu_resp"), cpu.in("mem_resp"));
+    nl.connect(l1.out("bus_out"), bus.in("in"));
+    nl.connect(bus.out("out"), l1.in("bus_in"));
+  }
+  nl.connect(mem.out("bus_out"), bus.in("in"));
+  nl.connect(bus.out("out"), mem.in("bus_in"));
+  nl.finalize();
+  core::Simulator sim(nl, core::SchedulerKind::Static);
+  Outcome o;
+  while (o.cycles < 3'000'000) {
+    bool all = true;
+    for (const auto* c : cpus) all = all && c->halted();
+    if (all) break;
+    sim.step();
+    ++o.cycles;
+  }
+  o.messages = bus.stats().counter_value("transactions");
+  return o;
+}
+
+Outcome run_directory(int cores, int iters, std::size_t dim) {
+  core::Netlist nl;
+  ccl::Fabric mesh = ccl::build_mesh(nl, "mesh", dim, dim);
+  const std::size_t home = dim * dim - 1;
+  std::vector<upl::SimpleCpu*> cpus;
+  for (int i = 0; i < cores; ++i) {
+    auto& cpu = nl.make<upl::SimpleCpu>("cpu" + std::to_string(i),
+                                        core::Params());
+    auto& l1 = nl.make<mpl::DirCache>(
+        "l1_" + std::to_string(i),
+        core::Params().set("id", i).set("sets", 16).set("line_words", 4)
+            .set("home0", static_cast<std::int64_t>(home)));
+    auto& ni = nl.make<nil::FabricAdapter>(
+        "ni" + std::to_string(i), core::Params().set("id", i).set("vcs", 1));
+    cpu.set_program(upl::assemble(worker(i, iters)));
+    cpus.push_back(&cpu);
+    nl.connect(cpu.out("mem_req"), l1.in("cpu_req"));
+    nl.connect(l1.out("cpu_resp"), cpu.in("mem_resp"));
+    nl.connect(l1.out("msg_out"), ni.in("msg_in"));
+    nl.connect(ni.out("msg_out"), l1.in("msg_in"));
+    nl.connect_at(ni.out("net_out"), 0, mesh.inject_port(i), 0);
+    nl.connect_at(mesh.eject_port(i), 0, ni.in("net_in"), 0);
+  }
+  auto& dir = nl.make<mpl::DirectoryCtl>(
+      "dir", core::Params().set("id", static_cast<std::int64_t>(home))
+                 .set("home0", static_cast<std::int64_t>(home))
+                 .set("line_words", 4).set("latency", 8));
+  auto& dni = nl.make<nil::FabricAdapter>(
+      "ni_dir", core::Params().set("id", static_cast<std::int64_t>(home))
+                    .set("vcs", 1));
+  nl.connect(dir.out("msg_out"), dni.in("msg_in"));
+  nl.connect(dni.out("msg_out"), dir.in("msg_in"));
+  nl.connect_at(dni.out("net_out"), 0, mesh.inject_port(home), 0);
+  nl.connect_at(mesh.eject_port(home), 0, dni.in("net_in"), 0);
+  nl.finalize();
+  core::Simulator sim(nl, core::SchedulerKind::Static);
+  Outcome o;
+  while (o.cycles < 3'000'000) {
+    bool all = true;
+    for (const auto* c : cpus) all = all && c->halted();
+    if (all) break;
+    sim.step();
+    ++o.cycles;
+  }
+  o.messages = dir.stats().counter_value("gets") +
+               dir.stats().counter_value("getx") +
+               dir.stats().counter_value("invs") +
+               dir.stats().counter_value("data_sent");
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10: snooping bus vs directory coherence\n\n");
+  constexpr int kIters = 60;
+  Table t({"cores", "snoop cycles", "dir cycles", "snoop/dir", "snoop msgs",
+           "dir msgs"});
+  struct Cfg {
+    int cores;
+    std::size_t dim;
+  };
+  for (const Cfg cfg : {Cfg{2, 2}, Cfg{3, 2}, Cfg{8, 3}, Cfg{15, 4}}) {
+    const Outcome sn = run_snoop(cfg.cores, kIters);
+    const Outcome dr = run_directory(cfg.cores, kIters, cfg.dim);
+    t.row({fmt(static_cast<std::uint64_t>(cfg.cores)), fmt(sn.cycles),
+           fmt(dr.cycles),
+           fmt(static_cast<double>(sn.cycles) /
+                   static_cast<double>(dr.cycles),
+               2),
+           fmt(sn.messages), fmt(dr.messages)});
+  }
+  t.print();
+  std::printf("\nshape check: the atomic bus serializes all traffic, so its "
+              "completion time grows much faster with core count; the "
+              "directory overlaps independent lines and wins at scale.\n");
+  return 0;
+}

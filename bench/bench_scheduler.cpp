@@ -1,0 +1,117 @@
+// E8 (paper §2.3, ref [22]): fixing the model of computation makes the
+// specification analyzable — the statically scheduled simulator beats the
+// dynamic fixed-point scheduler.
+//
+// Shape expectation: static scheduling reduces react() invocations per
+// cycle substantially (it calls each handler O(1) times on acyclic
+// netlists) and wins wall-clock across netlist types; both schedulers
+// produce identical results (asserted here and across the test suite).
+#include "bench_util.hpp"
+
+using namespace liberty;
+using namespace liberty::bench;
+
+namespace {
+
+struct NetKind {
+  const char* name;
+  void (*build)(core::Netlist&);
+};
+
+void build_chains(core::Netlist& nl) {
+  for (int i = 0; i < 64; ++i) {
+    auto& src = nl.make<pcl::Source>(
+        "s" + std::to_string(i),
+        core::Params().set("kind", "counter").set("period", 1));
+    auto& q = nl.make<pcl::Queue>("q" + std::to_string(i),
+                                  core::Params().set("depth", 4));
+    auto& d = nl.make<pcl::Delay>("d" + std::to_string(i),
+                                  core::Params().set("latency", 3));
+    auto& k = nl.make<pcl::Sink>("k" + std::to_string(i), core::Params());
+    nl.connect(src.out("out"), q.in("in"));
+    nl.connect(q.out("out"), d.in("in"));
+    nl.connect(d.out("out"), k.in("in"));
+  }
+}
+
+void build_mesh_net(core::Netlist& nl) {
+  ccl::Fabric mesh = ccl::build_mesh(nl, "mesh", 4, 4);
+  for (std::size_t i = 0; i < 16; ++i) {
+    auto& g = nl.make<ccl::TrafficGen>(
+        "g" + std::to_string(i),
+        core::Params().set("id", static_cast<std::int64_t>(i))
+            .set("nodes", 16).set("rate", 0.15).set("pattern", "uniform")
+            .set("seed", 7));
+    auto& s = nl.make<ccl::TrafficSink>("k" + std::to_string(i),
+                                        core::Params());
+    nl.connect_at(g.out("out"), 0, mesh.inject_port(i), 0);
+    nl.connect_at(mesh.eject_port(i), 0, s.in("in"), 0);
+  }
+}
+
+void build_arbiters(core::Netlist& nl) {
+  // Combinational-heavy: arbiter trees (lots of react() activity).
+  for (int t = 0; t < 8; ++t) {
+    auto& arb = nl.make<pcl::Arbiter>("arb" + std::to_string(t),
+                                      core::Params());
+    auto& sink = nl.make<pcl::Sink>("k" + std::to_string(t), core::Params());
+    for (int i = 0; i < 8; ++i) {
+      auto& src = nl.make<pcl::Source>(
+          "s" + std::to_string(t) + "_" + std::to_string(i),
+          core::Params().set("kind", "token").set("period", 2));
+      nl.connect(src.out("out"), arb.in("in"));
+    }
+    nl.connect(arb.out("out"), sink.in("in"));
+  }
+}
+
+struct Result {
+  double kcps = 0.0;             // kcycles per wall second
+  double reacts_per_cycle = 0.0;
+  std::uint64_t transfers = 0;
+};
+
+Result run(void (*build)(core::Netlist&), core::SchedulerKind kind,
+           std::uint64_t cycles) {
+  core::Netlist nl;
+  build(nl);
+  nl.finalize();
+  core::Simulator sim(nl, kind);
+  const double secs = time_seconds([&] { sim.run(cycles); });
+  Result r;
+  r.kcps = static_cast<double>(cycles) / 1e3 / secs;
+  r.reacts_per_cycle = static_cast<double>(sim.scheduler().react_calls()) /
+                       static_cast<double>(cycles);
+  for (const auto& c : nl.connections()) r.transfers += c->transfer_count();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: dynamic vs static scheduling (ref [22] optimization)\n\n");
+  const NetKind kinds[] = {{"pipelines x64", build_chains},
+                           {"mesh 4x4", build_mesh_net},
+                           {"arbiter trees", build_arbiters}};
+  constexpr std::uint64_t kCycles = 20'000;
+
+  Table t({"netlist", "dyn kc/s", "static kc/s", "speedup", "dyn react/cyc",
+           "static react/cyc"});
+  for (const auto& k : kinds) {
+    const Result dyn = run(k.build, core::SchedulerKind::Dynamic, kCycles);
+    const Result sta = run(k.build, core::SchedulerKind::Static, kCycles);
+    if (dyn.transfers != sta.transfers) {
+      std::printf("ERROR: schedulers diverged on %s (%llu vs %llu)\n",
+                  k.name, (unsigned long long)dyn.transfers,
+                  (unsigned long long)sta.transfers);
+      return 1;
+    }
+    t.row({k.name, fmt(dyn.kcps, 1), fmt(sta.kcps, 1),
+           fmt(sta.kcps / dyn.kcps, 2), fmt(dyn.reacts_per_cycle, 2),
+           fmt(sta.reacts_per_cycle, 2)});
+  }
+  t.print();
+  std::printf("\nshape check: identical results; static scheduling reduces "
+              "handler invocations and wins wall-clock.\n");
+  return 0;
+}

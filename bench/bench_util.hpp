@@ -1,0 +1,79 @@
+// Shared helpers for the experiment harness (one binary per experiment in
+// DESIGN.md; EXPERIMENTS.md records the outputs).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "liberty/ccl/ccl.hpp"
+#include "liberty/core/lss/elaborator.hpp"
+#include "liberty/core/registry.hpp"
+#include "liberty/core/simulator.hpp"
+#include "liberty/mpl/mpl.hpp"
+#include "liberty/nil/nil.hpp"
+#include "liberty/pcl/pcl.hpp"
+#include "liberty/upl/upl.hpp"
+
+namespace liberty::bench {
+
+/// Registry with every component library.
+inline core::ModuleRegistry& registry() {
+  static core::ModuleRegistry r = [] {
+    core::ModuleRegistry reg;
+    pcl::register_pcl(reg);
+    upl::register_upl(reg);
+    ccl::register_ccl(reg);
+    mpl::register_mpl(reg);
+    nil::register_nil(reg);
+    return reg;
+  }();
+  return r;
+}
+
+/// Wall-clock seconds for a callable.
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Markdown-style table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  void print() const {
+    auto line = [](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (const auto& c : cells) std::printf(" %-14s |", c.c_str());
+      std::printf("\n");
+    };
+    line(headers_);
+    std::printf("|");
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%s|", std::string(16, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+inline std::string fmt(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace liberty::bench

@@ -1,0 +1,88 @@
+// Quickstart: build a system from an LSS specification and simulate it.
+//
+// This walks the full Figure-1 pipeline of the paper: a Liberty Simulator
+// Specification (written in the LSS dialect, including a hierarchical
+// module definition and a generative for-loop) is parsed, elaborated
+// against the component-library catalog, constructed into a simulator, and
+// run.  It also emits the netlist as Graphviz DOT — the hook the paper's
+// interactive visualizer would consume.
+//
+// Run:  ./quickstart            (prints stats)
+//       ./quickstart --dot      (prints the DOT graph instead)
+#include <iostream>
+#include <string>
+
+#include "liberty/ccl/ccl.hpp"
+#include "liberty/core/lss/elaborator.hpp"
+#include "liberty/core/registry.hpp"
+#include "liberty/core/simulator.hpp"
+#include "liberty/mpl/mpl.hpp"
+#include "liberty/nil/nil.hpp"
+#include "liberty/pcl/pcl.hpp"
+#include "liberty/upl/upl.hpp"
+
+namespace {
+
+const char* kSpec = R"(
+// Four producers feed a two-stage buffered funnel into one sink.
+param N = 4;
+param DEPTH = 8;
+
+module buffered_lane {
+  param depth = 4;
+  inport in;
+  outport out;
+  instance q1 : pcl.queue { depth = depth; };
+  instance d : pcl.delay { latency = 2; };
+  connect q1.out -> d.in;
+  export q1.in as in;
+  export d.out as out;
+}
+
+instance arb : pcl.arbiter { policy = "round_robin"; };
+instance outq : pcl.queue { depth = DEPTH; };
+instance sink : pcl.sink { stop_after = 200; };
+
+for i in 0 .. N {
+  instance src[i] : pcl.source {
+    kind = "counter"; period = 2; count = 50; seed = i + 1; stamp = true;
+  };
+  instance lane[i] : buffered_lane { depth = DEPTH / 2; };
+  connect src[i].out -> lane[i].in;
+  connect lane[i].out -> arb.in;
+}
+connect arb.out -> outq.in;
+connect outq.out -> sink.in;
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace liberty;
+
+  // One catalog, every library — the shared component contract is what
+  // lets them interoperate (paper §2).
+  core::ModuleRegistry registry;
+  pcl::register_pcl(registry);
+  upl::register_upl(registry);
+  ccl::register_ccl(registry);
+  mpl::register_mpl(registry);
+  nil::register_nil(registry);
+
+  core::Netlist netlist;
+  core::lss::build_from_lss(kSpec, "quickstart.lss", netlist, registry);
+
+  if (argc > 1 && std::string(argv[1]) == "--dot") {
+    netlist.write_dot(std::cout);
+    return 0;
+  }
+
+  std::cout << "elaborated " << netlist.module_count() << " module instances, "
+            << netlist.connection_count() << " connections\n";
+
+  core::Simulator sim(netlist, core::SchedulerKind::Static);
+  const auto cycles = sim.run(10'000);
+  std::cout << "simulated " << cycles << " cycles\n\n";
+  netlist.dump_stats(std::cout);
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Sensor network (the paper's Figure 2(b)).
+//
+// "A sensor network node ... is composed of a general-purpose processor
+// (GP) and a digital signal processor (DSP) from UPL, linked with a bus
+// from CCL, and interfacing to a wireless radio component from CCL through
+// a radio interface from NIL."
+//
+// Each node: a GP (upl::SimpleCpu) samples a sensor and writes readings to
+// its radio through MMIO; the radio interface queues frames onto the shared
+// CSMA wireless channel (ccl::WirelessChannel).  A gateway sink collects
+// readings.  Losses and collisions are part of the physics; the periodic
+// sender simply keeps reporting.
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "liberty/ccl/ccl.hpp"
+#include "liberty/core/simulator.hpp"
+#include "liberty/upl/upl.hpp"
+
+using namespace liberty;
+using core::Cycle;
+using core::Params;
+
+namespace {
+
+/// Radio interface (NIL role): the GP writes a reading via MMIO; the radio
+/// wraps it into a flit addressed to the gateway and contends for the
+/// channel.
+class RadioTx final : public core::Module {
+ public:
+  RadioTx(const std::string& name, std::size_t node_id, std::size_t gateway)
+      : Module(name), id_(node_id), gateway_(gateway) {
+    out_ = &add_out("out", 0, 1);
+  }
+
+  /// MMIO hook target: queue one reading for transmission.
+  void enqueue(std::int64_t reading) {
+    pending_.push_back(reading);
+  }
+  [[nodiscard]] std::size_t backlog() const { return pending_.size(); }
+
+  void cycle_start(Cycle c) override {
+    if (!pending_.empty()) {
+      auto flit = std::make_shared<ccl::Flit>(seq_, id_, gateway_, c);
+      flit->body = liberty::Value(pending_.front());
+      out_->send(liberty::Value(
+          std::static_pointer_cast<const Payload>(std::move(flit))));
+    } else {
+      out_->idle();
+    }
+  }
+  void end_of_cycle() override {
+    if (out_->transferred()) {
+      pending_.pop_front();
+      ++seq_;
+      stats().counter("sent").inc();
+    }
+  }
+  void declare_deps(core::Deps& deps) const override {
+    deps.state_only(*out_);
+  }
+
+ private:
+  std::size_t id_;
+  std::size_t gateway_;
+  std::uint64_t seq_ = 0;
+  std::deque<std::int64_t> pending_;
+  core::Port* out_ = nullptr;
+};
+
+/// Sensor firmware: sample (synthesize) a reading every ~64 cycles of busy
+/// work, "filter" it (the DSP step: a small smoothing computation), and
+/// write it to the radio's MMIO register.
+std::string sensor_prog(int node, int samples) {
+  return
+         // Unsynchronized duty cycles: each node starts with its own offset
+         // (otherwise every transmission collides on the CSMA channel).
+         "  li r12, " + std::to_string(node * 29 + 3) + "\n"
+         "off:\n"
+         "  addi r12, r12, -1\n"
+         "  bne r12, r0, off\n"
+         "  li r5, " + std::to_string(node * 37 + 11) + "\n"  // sensor state
+         "  li r6, 0\n"                                        // sample count
+         "  li r7, " + std::to_string(samples) + "\n"
+         "sample:\n"
+         // synthesize a raw reading: state = state * 13 % 1000
+         "  li r8, 13\n"
+         "  mul r5, r5, r8\n"
+         "  li r8, 1000\n"
+         "  rem r5, r5, r8\n"
+         // DSP step: smooth = (prev + raw) / 2
+         "  add r9, r9, r5\n"
+         "  li r8, 2\n"
+         "  div r9, r9, r8\n"
+         // transmit via the radio MMIO register at 4096
+         "  sw r9, 4096(r0)\n"
+         // idle loop between samples (sensor duty cycle)
+         "  li r10, 0\n"
+         "idle:\n"
+         "  addi r10, r10, 1\n"
+         "  slti r11, r10, 64\n"
+         "  bne r11, r0, idle\n"
+         "  addi r6, r6, 1\n"
+         "  blt r6, r7, sample\n"
+         "  halt\n";
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kNodes = 6;
+  constexpr std::size_t kGateway = kNodes;  // radio id of the gateway
+  constexpr int kSamples = 20;
+
+  core::Netlist nl;
+  auto& air = nl.make<ccl::WirelessChannel>(
+      "air", Params().set("airtime", 6).set("loss", 0.05).set("seed", 3));
+  auto& gateway = nl.make<ccl::TrafficSink>("gateway", Params());
+
+  std::vector<upl::SimpleCpu*> cpus;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    auto& gp = nl.make<upl::SimpleCpu>("gp" + std::to_string(i), Params());
+    auto& radio =
+        nl.make<RadioTx>("radio" + std::to_string(i), i, kGateway);
+    gp.set_program(
+        upl::assemble(sensor_prog(static_cast<int>(i), kSamples)));
+    gp.map_mmio(4096, 1, nullptr,
+                [&radio](std::uint64_t, std::int64_t v) { radio.enqueue(v); });
+    cpus.push_back(&gp);
+    nl.connect_at(radio.out("out"), 0, air.in("in"), i);
+  }
+  // Gateway: endpoint kGateway of the channel's output.
+  nl.connect_at(air.out("out"), kGateway, gateway.in("in"), 0);
+  nl.finalize();
+
+  core::Simulator sim(nl, core::SchedulerKind::Static);
+  std::uint64_t cycles = 0;
+  while (cycles < 300'000) {
+    bool done = true;
+    for (const auto* cpu : cpus) done = done && cpu->halted();
+    // Drain the channel after the last sensor halts.
+    if (done && cycles > 0) {
+      sim.run(500);
+      cycles += 500;
+      break;
+    }
+    sim.step();
+    ++cycles;
+  }
+
+  const auto& air_stats = air.stats();
+  std::printf("sensor field: %zu nodes, %d samples each, CSMA channel\n",
+              kNodes, kSamples);
+  std::printf("sent=%llu delivered=%llu collisions=%llu lost=%llu\n",
+              (unsigned long long)air_stats.counter_value("sent"),
+              (unsigned long long)air_stats.counter_value("delivered"),
+              (unsigned long long)air_stats.counter_value("collisions"),
+              (unsigned long long)air_stats.counter_value("lost"));
+  std::printf("gateway received %llu readings, mean air latency %.1f cycles\n",
+              (unsigned long long)gateway.received(), gateway.mean_latency());
+  return gateway.received() > 0 ? 0 : 1;
+}

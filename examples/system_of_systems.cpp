@@ -1,0 +1,239 @@
+// A complex system of systems (the paper's Figure 2(d)).
+//
+// "We envision small sensor nodes peppered around an area, collecting and
+// communicating data wirelessly back to coarser-grain nodes with chip
+// multiprocessors that analyze and coordinate groups of sensors.  Finally,
+// analyzed data is aggregated back to a base camp where there are petaflops
+// grids-in-a-box."
+//
+// Three tiers, all in one netlist — the composability claim end to end:
+//   tier 1: sensor GPs (upl) -> CSMA wireless channel (ccl)
+//   tier 2: an aggregator processor (upl) that ingests readings from its
+//           radio, averages each batch, and DMA-ships results (mpl)
+//   tier 3: the "base camp" board: local memory receiving DMA chunks over
+//           a ring fabric (ccl) through fabric adapters (nil)
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "liberty/ccl/ccl.hpp"
+#include "liberty/core/simulator.hpp"
+#include "liberty/mpl/mpl.hpp"
+#include "liberty/nil/nil.hpp"
+#include "liberty/pcl/pcl.hpp"
+#include "liberty/upl/upl.hpp"
+
+using namespace liberty;
+using core::Cycle;
+using core::Params;
+
+namespace {
+
+/// Sensor-side radio (as in sensor_node.cpp).
+class RadioTx final : public core::Module {
+ public:
+  RadioTx(const std::string& name, std::size_t id, std::size_t dst)
+      : Module(name), id_(id), dst_(dst) {
+    out_ = &add_out("out", 0, 1);
+  }
+  void enqueue(std::int64_t v) { pending_.push_back(v); }
+  void cycle_start(Cycle c) override {
+    if (!pending_.empty()) {
+      auto flit = std::make_shared<ccl::Flit>(seq_, id_, dst_, c);
+      flit->body = liberty::Value(pending_.front());
+      out_->send(liberty::Value(
+          std::static_pointer_cast<const Payload>(std::move(flit))));
+    } else {
+      out_->idle();
+    }
+  }
+  void end_of_cycle() override {
+    if (out_->transferred()) {
+      pending_.pop_front();
+      ++seq_;
+    }
+  }
+  void declare_deps(core::Deps& d) const override { d.state_only(*out_); }
+
+ private:
+  std::size_t id_, dst_;
+  std::uint64_t seq_ = 0;
+  std::deque<std::int64_t> pending_;
+  core::Port* out_ = nullptr;
+};
+
+/// Aggregator-side radio receiver: flits from the air become MMIO-readable
+/// values for the aggregator processor.
+class RadioRx final : public core::Module {
+ public:
+  explicit RadioRx(const std::string& name) : Module(name) {
+    in_ = &add_in("in", core::AckMode::AutoAccept, 0, 1);
+  }
+  [[nodiscard]] std::int64_t mmio_read(std::uint64_t reg) {
+    if (reg == 0) return static_cast<std::int64_t>(rx_.size());
+    if (reg == 1 && !rx_.empty()) {
+      const std::int64_t v = rx_.front();
+      rx_.pop_front();
+      return v;
+    }
+    return 0;
+  }
+  void end_of_cycle() override {
+    if (in_->transferred()) {
+      rx_.push_back(in_->data().as<ccl::Flit>()->body.as_int());
+    }
+  }
+
+ private:
+  core::Port* in_ = nullptr;
+  std::deque<std::int64_t> rx_;
+};
+
+std::string sensor_prog(int node, int samples) {
+  return
+         "  li r12, " + std::to_string(node * 29 + 3) + "\n"
+         "off:\n"
+         "  addi r12, r12, -1\n"
+         "  bne r12, r0, off\n"
+         "  li r5, " + std::to_string(node * 31 + 7) + "\n"
+         "  li r6, 0\n"
+         "  li r7, " + std::to_string(samples) + "\n"
+         "sample:\n"
+         "  li r8, 17\n"
+         "  mul r5, r5, r8\n"
+         "  li r8, 100\n"
+         "  rem r5, r5, r8\n"
+         "  sw r5, 4096(r0)\n"
+         "  li r10, 0\n"
+         "idle:\n"
+         "  addi r10, r10, 1\n"
+         "  slti r11, r10, 48\n"
+         "  bne r11, r0, idle\n"
+         "  addi r6, r6, 1\n"
+         "  blt r6, r7, sample\n"
+         "  halt\n";
+}
+
+/// Aggregator: collect `total` readings from the radio (MMIO 5000=count,
+/// 5001=pop), sum them into memory at 100, then start the DMA to the base
+/// camp (DMA registers at MMIO 5100+).
+std::string aggregator_prog(int total) {
+  return "  li r1, 0\n"   // collected
+         "  li r2, " + std::to_string(total) + "\n"
+         "  li r3, 0\n"   // running sum
+         "collect:\n"
+         "  lw r4, 5000(r0)\n"
+         "  beq r4, r0, collect\n"
+         "  lw r5, 5001(r0)\n"
+         "  add r3, r3, r5\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r2, collect\n"
+         "  sw r3, 100(r0)\n"  // analyzed result into local memory
+         // DMA to base camp: src=100 len=1 dst_node=1 dst_addr=700, go.
+         "  li r6, 100\n"
+         "  sw r6, 5100(r0)\n"
+         "  li r6, 1\n"
+         "  sw r6, 5101(r0)\n"
+         "  li r6, 700\n"
+         "  sw r6, 5102(r0)\n"
+         "  li r6, 1\n"
+         "  sw r6, 5103(r0)\n"
+         "  li r6, 1\n"
+         "  sw r6, 5104(r0)\n"
+         "  halt\n";
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kSensors = 4;
+  constexpr int kSamples = 5;
+
+  core::Netlist nl;
+
+  // Tier 1: sensors + wireless.
+  auto& air = nl.make<ccl::WirelessChannel>(
+      "air", Params().set("airtime", 4).set("loss", 0.0));
+  std::vector<upl::SimpleCpu*> sensors;
+  for (std::size_t i = 0; i < kSensors; ++i) {
+    auto& gp = nl.make<upl::SimpleCpu>("sensor" + std::to_string(i),
+                                       Params());
+    auto& radio = nl.make<RadioTx>("radio" + std::to_string(i), i, kSensors);
+    gp.set_program(
+        upl::assemble(sensor_prog(static_cast<int>(i), kSamples)));
+    gp.map_mmio(4096, 1, nullptr,
+                [&radio](std::uint64_t, std::int64_t v) { radio.enqueue(v); });
+    sensors.push_back(&gp);
+    nl.connect_at(radio.out("out"), 0, air.in("in"), i);
+  }
+
+  // Tier 2: the aggregator node (radio rx + GP + local memory + DMA).
+  auto& agg_rx = nl.make<RadioRx>("agg_rx");
+  nl.connect_at(air.out("out"), kSensors, agg_rx.in("in"), 0);
+  auto& agg = nl.make<upl::SimpleCpu>("aggregator", Params());
+  auto& agg_mem = nl.make<pcl::MemoryArray>(
+      "agg_mem", Params().set("latency", 1).set("ports", 2));
+  auto& agg_dma = nl.make<mpl::DmaCtl>("agg_dma", Params());
+  agg.set_program(upl::assemble(
+      aggregator_prog(static_cast<int>(kSensors) * kSamples)));
+  agg.map_mmio(5000, 2,
+               [&agg_rx](std::uint64_t a) {
+                 return agg_rx.mmio_read(a - 5000);
+               },
+               nullptr);
+  agg.map_mmio(5100, 8,
+               [&agg_dma](std::uint64_t a) {
+                 return agg_dma.mmio_read(a - 5100);
+               },
+               [&agg_dma](std::uint64_t a, std::int64_t v) {
+                 agg_dma.mmio_write(a - 5100, v);
+               });
+  nl.connect_at(agg.out("mem_req"), 0, agg_mem.in("req"), 0);
+  nl.connect_at(agg_mem.out("resp"), 0, agg.in("mem_resp"), 0);
+  nl.connect_at(agg_dma.out("mem_req"), 0, agg_mem.in("req"), 1);
+  nl.connect_at(agg_mem.out("resp"), 1, agg_dma.in("mem_resp"), 0);
+
+  // Tier 3: base camp across a 4-node ring fabric.
+  ccl::Fabric ring = ccl::build_ring(nl, "backbone", 4);
+  auto& agg_ni = nl.make<nil::FabricAdapter>(
+      "agg_ni", Params().set("id", 0).set("vcs", 1));
+  nl.connect(agg_dma.out("net_out"), agg_ni.in("msg_in"));
+  nl.connect(agg_ni.out("msg_out"), agg_dma.in("net_in"));
+  nl.connect_at(agg_ni.out("net_out"), 0, ring.inject_port(0), 0);
+  nl.connect_at(ring.eject_port(0), 0, agg_ni.in("net_in"), 0);
+
+  auto& camp_mem = nl.make<pcl::MemoryArray>(
+      "camp_mem", Params().set("latency", 2));
+  auto& camp_dma = nl.make<mpl::DmaCtl>("camp_dma", Params());
+  auto& camp_ni = nl.make<nil::FabricAdapter>(
+      "camp_ni", Params().set("id", 1).set("vcs", 1));
+  nl.connect(camp_dma.out("mem_req"), camp_mem.in("req"));
+  nl.connect(camp_mem.out("resp"), camp_dma.in("mem_resp"));
+  nl.connect(camp_dma.out("net_out"), camp_ni.in("msg_in"));
+  nl.connect(camp_ni.out("msg_out"), camp_dma.in("net_in"));
+  nl.connect_at(camp_ni.out("net_out"), 0, ring.inject_port(1), 0);
+  nl.connect_at(ring.eject_port(1), 0, camp_ni.in("net_in"), 0);
+
+  nl.finalize();
+
+  core::Simulator sim(nl, core::SchedulerKind::Static);
+  std::uint64_t cycles = 0;
+  while (cycles < 500'000 && !camp_dma.rx_done()) {
+    sim.step();
+    ++cycles;
+  }
+
+  std::printf("system of systems: %zu sensors -> wireless -> aggregator -> "
+              "ring backbone -> base camp\n",
+              kSensors);
+  std::printf("end-to-end aggregation finished in %llu cycles\n",
+              (unsigned long long)cycles);
+  std::printf("base camp received analyzed value %lld\n",
+              (long long)camp_mem.peek(700));
+  std::printf("modules: %zu instances, %zu connections, four libraries in "
+              "one netlist\n",
+              nl.module_count(), nl.connection_count());
+  return camp_dma.rx_done() ? 0 : 1;
+}

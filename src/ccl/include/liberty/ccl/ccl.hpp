@@ -1,0 +1,21 @@
+// Communication Component Library (CCL / Orion) — umbrella header.
+//
+// "This consists of building blocks of communication fabrics.  Examples
+// include buses and routers." (§3)
+#pragma once
+
+#include "liberty/ccl/fabric.hpp"
+#include "liberty/ccl/flit.hpp"
+#include "liberty/ccl/power.hpp"
+#include "liberty/ccl/router.hpp"
+#include "liberty/ccl/topology.hpp"
+#include "liberty/ccl/traffic.hpp"
+#include "liberty/ccl/wireless.hpp"
+#include "liberty/core/registry.hpp"
+
+namespace liberty::ccl {
+
+/// Register every CCL template ("ccl.*") with `registry`.
+void register_ccl(liberty::core::ModuleRegistry& registry);
+
+}  // namespace liberty::ccl

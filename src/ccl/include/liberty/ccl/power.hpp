@@ -1,0 +1,135 @@
+// Orion-style power and thermal models (§3.3).
+//
+// "An early version of Orion was developed, focusing on wired
+// interconnection networks ... Now, in addition to dynamic power, Orion
+// characterizes leakage power as well as the thermal impact of networks."
+//
+// The model follows Orion's structure: per-event dynamic energy for the
+// four router stages (buffer write, buffer read, arbitration, crossbar
+// traversal) plus per-flit link traversal energy, and a static leakage
+// power that accrues every cycle whether or not traffic flows.  Absolute
+// constants are calibrated to the published Orion 100nm-era numbers
+// (picojoules per 64-bit flit event); what the benchmarks reproduce is the
+// *shape*: dynamic power scaling with load above a leakage floor, with
+// buffers and crossbar dominating (see EXPERIMENTS.md E9).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace liberty::ccl {
+
+/// Technology/geometry parameters for one router's power model.
+struct PowerConfig {
+  std::size_t flit_bits = 64;
+  std::size_t ports = 5;          // mesh router: 4 neighbours + local
+  std::size_t vcs = 2;
+  std::size_t buffer_depth = 4;
+  double vdd = 1.0;               // volts
+  double tech_scale = 1.0;        // relative to the 100nm reference point
+
+  // Reference energies at 100nm, 1.0 V, 64-bit flits (pJ per event).
+  double buf_write_pj = 1.1;
+  double buf_read_pj = 0.9;
+  double arb_pj = 0.08;
+  double xbar_pj = 1.5;
+  double link_pj_per_mm = 0.45;
+  double link_mm = 1.0;
+
+  // Leakage: per-buffer-entry and per-crossbar static power (pJ/cycle).
+  double leak_buf_entry_pj = 0.012;
+  double leak_xbar_pj = 0.2;
+};
+
+/// Accumulates energy for one router instance.
+class RouterPower {
+ public:
+  explicit RouterPower(const PowerConfig& cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] const PowerConfig& config() const noexcept { return cfg_; }
+
+  // Event hooks, called by the router as flits move.
+  void on_buffer_write() { dyn_pj_ += scale(cfg_.buf_write_pj); }
+  void on_buffer_read() { dyn_pj_ += scale(cfg_.buf_read_pj); }
+  void on_arbitration(std::size_t requesters) {
+    dyn_pj_ += scale(cfg_.arb_pj) * static_cast<double>(requesters);
+  }
+  void on_crossbar_traversal() { dyn_pj_ += scale(cfg_.xbar_pj); }
+
+  /// Called once per simulated cycle.
+  void on_cycle() {
+    const auto entries = static_cast<double>(cfg_.ports * cfg_.vcs *
+                                             cfg_.buffer_depth);
+    leak_pj_ += scale(cfg_.leak_buf_entry_pj) * entries +
+                scale(cfg_.leak_xbar_pj);
+    ++cycles_;
+  }
+
+  [[nodiscard]] double dynamic_pj() const noexcept { return dyn_pj_; }
+  [[nodiscard]] double leakage_pj() const noexcept { return leak_pj_; }
+  [[nodiscard]] double total_pj() const noexcept { return dyn_pj_ + leak_pj_; }
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  /// Average power in pJ/cycle (equals watts at a 1 GHz clock and pJ).
+  [[nodiscard]] double avg_power() const noexcept {
+    return cycles_ == 0 ? 0.0
+                        : total_pj() / static_cast<double>(cycles_);
+  }
+
+ private:
+  [[nodiscard]] double scale(double pj) const noexcept {
+    // Dynamic energy ~ C V^2; capacitance shrinks with feature size, and
+    // we fold width scaling into tech_scale linearly (Orion's first-order
+    // model).
+    return pj * cfg_.vdd * cfg_.vdd * cfg_.tech_scale *
+           (static_cast<double>(cfg_.flit_bits) / 64.0);
+  }
+
+  PowerConfig cfg_;
+  double dyn_pj_ = 0.0;
+  double leak_pj_ = 0.0;
+  std::uint64_t cycles_ = 0;
+};
+
+/// Per-flit link energy.
+class LinkPower {
+ public:
+  explicit LinkPower(const PowerConfig& cfg = {}) : cfg_(cfg) {}
+  void on_traversal() {
+    pj_ += cfg_.link_pj_per_mm * cfg_.link_mm * cfg_.vdd * cfg_.vdd *
+           (static_cast<double>(cfg_.flit_bits) / 64.0);
+  }
+  [[nodiscard]] double total_pj() const noexcept { return pj_; }
+
+ private:
+  PowerConfig cfg_;
+  double pj_ = 0.0;
+};
+
+/// First-order RC thermal model: temperature rises toward
+/// ambient + power * r_thermal with time constant tau ("the thermal impact
+/// of networks", §3.3).
+class ThermalModel {
+ public:
+  ThermalModel(double ambient_c = 45.0, double r_thermal = 2.0,
+               double tau_cycles = 10000.0)
+      : ambient_(ambient_c), r_(r_thermal), tau_(tau_cycles), t_(ambient_c) {}
+
+  /// Advance one cycle with the given instantaneous power (pJ/cycle).
+  void step(double power) {
+    const double target = ambient_ + power * r_;
+    t_ += (target - t_) / tau_;
+    peak_ = t_ > peak_ ? t_ : peak_;
+  }
+
+  [[nodiscard]] double temperature() const noexcept { return t_; }
+  [[nodiscard]] double peak() const noexcept { return peak_; }
+
+ private:
+  double ambient_;
+  double r_;
+  double tau_;
+  double t_;
+  double peak_ = 0.0;
+};
+
+}  // namespace liberty::ccl

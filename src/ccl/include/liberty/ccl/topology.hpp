@@ -1,0 +1,74 @@
+// Topology builders: compose routers and links into fabrics.
+//
+// These are the C++ counterparts of hierarchical LSS modules: each returns
+// handles to the routers and exposes the per-node local ports so that any
+// injector/ejector pair — statistical generator, processor NI, coherence
+// controller — can be attached (§2.2's interchangeability).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "liberty/ccl/router.hpp"
+#include "liberty/core/netlist.hpp"
+#include "liberty/core/params.hpp"
+
+namespace liberty::ccl {
+
+/// A built fabric: routers indexed by node id plus local-port accessors.
+struct Fabric {
+  std::vector<Router*> routers;
+
+  /// Port/endpoint to connect a node's injector output to.
+  [[nodiscard]] liberty::core::Port& inject_port(std::size_t node) const {
+    return routers.at(node)->in("in");
+  }
+  /// Port/endpoint carrying flits ejected at `node` (endpoint 0).
+  [[nodiscard]] liberty::core::Port& eject_port(std::size_t node) const {
+    return routers.at(node)->out("out");
+  }
+
+  [[nodiscard]] double total_router_energy_pj() const {
+    double pj = 0.0;
+    for (const Router* r : routers) pj += r->power().total_pj();
+    return pj;
+  }
+  [[nodiscard]] double total_dynamic_pj() const {
+    double pj = 0.0;
+    for (const Router* r : routers) pj += r->power().dynamic_pj();
+    return pj;
+  }
+  [[nodiscard]] double total_leakage_pj() const {
+    double pj = 0.0;
+    for (const Router* r : routers) pj += r->power().leakage_pj();
+    return pj;
+  }
+};
+
+/// Build a cols x rows 2D mesh of XY routers named "<prefix>.r<id>", wired
+/// with Link instances ("<prefix>.l<id>.<dir>").  `router_params` may set
+/// vcs/depth/pipeline/power parameters; `link_latency` applies to every
+/// hop wire.  Local endpoint 0 of every router is left unconnected for the
+/// caller.
+Fabric build_mesh(liberty::core::Netlist& netlist, const std::string& prefix,
+                  std::size_t cols, std::size_t rows,
+                  const liberty::core::Params& router_params = {},
+                  std::int64_t link_latency = 1);
+
+/// Build an N-node bidirectional ring (shortest-path routing).
+Fabric build_ring(liberty::core::Netlist& netlist, const std::string& prefix,
+                  std::size_t nodes,
+                  const liberty::core::Params& router_params = {},
+                  std::int64_t link_latency = 1);
+
+/// Build a cols x rows 2D torus (mesh plus wrap links, wrap-aware XY
+/// routing).  Note: with single-flit packets and endpoint sinks the wrap
+/// channels cannot deadlock; multi-flit wormhole traffic on a torus would
+/// need the dateline VC discipline, which is future work (DESIGN.md).
+Fabric build_torus(liberty::core::Netlist& netlist, const std::string& prefix,
+                   std::size_t cols, std::size_t rows,
+                   const liberty::core::Params& router_params = {},
+                   std::int64_t link_latency = 1);
+
+}  // namespace liberty::ccl

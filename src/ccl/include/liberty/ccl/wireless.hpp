@@ -1,0 +1,57 @@
+// Wireless fabric (§3.3: "wireless fabrics in sensor networks";
+// "abstractions of different traffic patterns in mobile sensor networks").
+//
+// WirelessChannel models a shared CSMA medium: at most one packet is on the
+// air at a time; while the medium is busy, would-be senders are deferred
+// (carrier sense is free through the handshake — a nack is "channel
+// busy").  When two or more deferred senders start in the same idle slot
+// they collide and all their packets are lost.  Delivery additionally
+// suffers i.i.d. loss with probability `loss`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "liberty/ccl/flit.hpp"
+#include "liberty/core/module.hpp"
+#include "liberty/core/params.hpp"
+#include "liberty/support/rng.hpp"
+
+namespace liberty::ccl {
+
+/// Parameters:
+///   airtime   cycles a packet occupies the medium (>= 1)       [8]
+///   loss      i.i.d. delivery loss probability                 [0.0]
+///   seed      RNG seed for losses                              [1]
+///
+/// Inputs/outputs are indexed by radio id; flits are delivered to
+/// out[dst].  Stats: sent, delivered, collisions, lost, busy_cycles.
+class WirelessChannel : public liberty::core::Module {
+ public:
+  WirelessChannel(const std::string& name,
+                  const liberty::core::Params& params);
+
+  void cycle_start(liberty::core::Cycle c) override;
+  void react() override;
+  void end_of_cycle() override;
+  void declare_deps(liberty::core::Deps& deps) const override;
+
+ private:
+  liberty::core::Port& in_;
+  liberty::core::Port& out_;
+  std::uint64_t airtime_;
+  double loss_;
+  liberty::Rng rng_;
+
+  bool busy_ = false;
+  liberty::core::Cycle free_at_ = 0;
+  bool has_payload_ = false;  // current transmission survived collision
+  liberty::Value tx_value_;   // packet currently on the air
+  std::size_t tx_dst_ = 0;
+  liberty::Value on_air_;     // completed packet awaiting receiver
+  std::size_t dst_ = 0;
+  bool delivered_pending_ = false;
+};
+
+}  // namespace liberty::ccl

@@ -1,0 +1,23 @@
+#include "liberty/ccl/ccl.hpp"
+
+namespace liberty::ccl {
+
+using liberty::core::ModuleRegistry;
+using liberty::core::simple_factory;
+
+void register_ccl(ModuleRegistry& r) {
+  r.register_template("ccl.router", "VC wormhole router with Orion power",
+                      simple_factory<Router>());
+  r.register_template("ccl.link", "pipelined link with energy model",
+                      simple_factory<Link>());
+  r.register_template("ccl.bus", "arbitrated shared (snooping) bus",
+                      simple_factory<Bus>());
+  r.register_template("ccl.traffic_gen", "statistical packet generator",
+                      simple_factory<TrafficGen>());
+  r.register_template("ccl.traffic_sink", "flit sink with latency stats",
+                      simple_factory<TrafficSink>());
+  r.register_template("ccl.wireless", "CSMA wireless channel",
+                      simple_factory<WirelessChannel>());
+}
+
+}  // namespace liberty::ccl

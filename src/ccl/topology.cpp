@@ -1,0 +1,122 @@
+#include "liberty/ccl/topology.hpp"
+
+#include "liberty/ccl/fabric.hpp"
+
+namespace liberty::ccl {
+
+using liberty::core::Netlist;
+using liberty::core::Params;
+
+namespace {
+
+/// Copy caller params and overlay geometry for one router.
+Params router_params_for(const Params& base, std::size_t id,
+                         std::size_t nodes, const std::string& routing,
+                         std::size_t cols, std::size_t rows) {
+  Params p;
+  for (const auto& [k, v] : base.values()) p.set(k, v);
+  p.set("id", static_cast<std::int64_t>(id));
+  p.set("nodes", static_cast<std::int64_t>(nodes));
+  p.set("routing", routing);
+  p.set("cols", static_cast<std::int64_t>(cols));
+  p.set("rows", static_cast<std::int64_t>(rows));
+  return p;
+}
+
+/// Wire routers[a].out[dir_a] -> link -> routers[b].in[dir_b].
+void wire(Netlist& nl, const std::string& name, Router& a, std::size_t dir_a,
+          Router& b, std::size_t dir_b, std::int64_t latency) {
+  Params lp;
+  lp.set("latency", latency);
+  auto& link = nl.make<Link>(name, lp);
+  nl.connect_at(a.out("out"), dir_a, link.in("in"), 0);
+  nl.connect_at(link.out("out"), 0, b.in("in"), dir_b);
+}
+
+}  // namespace
+
+Fabric build_mesh(Netlist& nl, const std::string& prefix, std::size_t cols,
+                  std::size_t rows, const Params& router_params,
+                  std::int64_t link_latency) {
+  Fabric f;
+  const std::size_t n = cols * rows;
+  f.routers.reserve(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    f.routers.push_back(&nl.make<Router>(
+        prefix + ".r" + std::to_string(id),
+        router_params_for(router_params, id, n, "xy", cols, rows)));
+  }
+  // Directions: 1 = east, 2 = west, 3 = north, 4 = south.
+  for (std::size_t y = 0; y < rows; ++y) {
+    for (std::size_t x = 0; x < cols; ++x) {
+      const std::size_t id = y * cols + x;
+      if (x + 1 < cols) {
+        const std::size_t east = id + 1;
+        wire(nl, prefix + ".l" + std::to_string(id) + ".e", *f.routers[id], 1,
+             *f.routers[east], 2, link_latency);
+        wire(nl, prefix + ".l" + std::to_string(east) + ".w",
+             *f.routers[east], 2, *f.routers[id], 1, link_latency);
+      }
+      if (y + 1 < rows) {
+        const std::size_t south = id + cols;
+        wire(nl, prefix + ".l" + std::to_string(id) + ".s", *f.routers[id], 4,
+             *f.routers[south], 3, link_latency);
+        wire(nl, prefix + ".l" + std::to_string(south) + ".n",
+             *f.routers[south], 3, *f.routers[id], 4, link_latency);
+      }
+    }
+  }
+  return f;
+}
+
+Fabric build_torus(Netlist& nl, const std::string& prefix, std::size_t cols,
+                   std::size_t rows, const Params& router_params,
+                   std::int64_t link_latency) {
+  Fabric f;
+  const std::size_t n = cols * rows;
+  f.routers.reserve(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    f.routers.push_back(&nl.make<Router>(
+        prefix + ".r" + std::to_string(id),
+        router_params_for(router_params, id, n, "torus_xy", cols, rows)));
+  }
+  for (std::size_t y = 0; y < rows; ++y) {
+    for (std::size_t x = 0; x < cols; ++x) {
+      const std::size_t id = y * cols + x;
+      const std::size_t east = y * cols + (x + 1) % cols;
+      const std::size_t south = ((y + 1) % rows) * cols + x;
+      wire(nl, prefix + ".l" + std::to_string(id) + ".e", *f.routers[id], 1,
+           *f.routers[east], 2, link_latency);
+      wire(nl, prefix + ".l" + std::to_string(east) + ".w", *f.routers[east],
+           2, *f.routers[id], 1, link_latency);
+      wire(nl, prefix + ".l" + std::to_string(id) + ".s", *f.routers[id], 4,
+           *f.routers[south], 3, link_latency);
+      wire(nl, prefix + ".l" + std::to_string(south) + ".n",
+           *f.routers[south], 3, *f.routers[id], 4, link_latency);
+    }
+  }
+  return f;
+}
+
+Fabric build_ring(Netlist& nl, const std::string& prefix, std::size_t nodes,
+                  const Params& router_params, std::int64_t link_latency) {
+  Fabric f;
+  f.routers.reserve(nodes);
+  for (std::size_t id = 0; id < nodes; ++id) {
+    f.routers.push_back(&nl.make<Router>(
+        prefix + ".r" + std::to_string(id),
+        router_params_for(router_params, id, nodes, "ring", nodes, 1)));
+  }
+  for (std::size_t id = 0; id < nodes; ++id) {
+    const std::size_t next = (id + 1) % nodes;
+    // Clockwise: out[1] of id feeds in[2]... flits travelling clockwise
+    // arrive from the counter-clockwise neighbour.
+    wire(nl, prefix + ".l" + std::to_string(id) + ".cw", *f.routers[id], 1,
+         *f.routers[next], 1, link_latency);
+    wire(nl, prefix + ".l" + std::to_string(next) + ".ccw", *f.routers[next],
+         2, *f.routers[id], 2, link_latency);
+  }
+  return f;
+}
+
+}  // namespace liberty::ccl

@@ -1,0 +1,139 @@
+// Abstract syntax of the LSS reproduction dialect.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "liberty/support/value.hpp"
+
+namespace liberty::core::lss {
+
+struct SourceLoc {
+  std::string file;
+  int line = 0;
+  int col = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class UnOp { Neg, Not };
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or,
+};
+
+struct Expr {
+  enum class Kind { Literal, Var, Unary, Binary, Ternary };
+
+  Kind kind;
+  SourceLoc loc;
+
+  // Literal
+  liberty::Value literal;
+  // Var
+  std::string var;
+  // Unary / Binary / Ternary operands
+  UnOp un_op = UnOp::Neg;
+  BinOp bin_op = BinOp::Add;
+  ExprPtr a, b, c;
+};
+
+// ---------------------------------------------------------------------------
+// References:  seg ('.' seg)*  where  seg := ident ('[' expr ']')?
+// The trailing index of the final segment denotes a port endpoint index;
+// indexes on earlier segments select members of instance arrays.
+// ---------------------------------------------------------------------------
+
+struct RefSeg {
+  std::string ident;
+  ExprPtr index;  // may be null
+};
+
+struct Ref {
+  std::vector<RefSeg> segs;
+  SourceLoc loc;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct ParamDecl {
+  std::string name;
+  ExprPtr default_value;
+};
+
+struct InstanceDecl {
+  std::vector<RefSeg> name;        // possibly indexed, e.g. core[i]
+  std::string template_path;       // "pcl.queue" or LSS module name
+  std::vector<std::pair<std::string, ExprPtr>> args;
+};
+
+struct ConnectDecl {
+  Ref from;
+  Ref to;
+};
+
+struct PortDecl {
+  bool is_input = true;
+  std::string name;
+};
+
+struct ExportDecl {
+  Ref inner;         // instance.port inside the module body
+  std::string alias; // exported name
+};
+
+struct ForStmt {
+  std::string var;
+  ExprPtr begin;
+  ExprPtr end;  // exclusive
+  std::vector<StmtPtr> body;
+};
+
+struct IfStmt {
+  ExprPtr cond;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+};
+
+struct ModuleDef {
+  std::string name;
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  enum class Kind { Param, Instance, Connect, Port, Export, For, If, Module };
+
+  Kind kind;
+  SourceLoc loc;
+
+  // One of (by kind):
+  ParamDecl param;
+  InstanceDecl instance;
+  ConnectDecl connect;
+  PortDecl port;
+  ExportDecl exp;
+  ForStmt for_stmt;
+  IfStmt if_stmt;
+  ModuleDef module_def;
+};
+
+/// A parsed specification.
+struct Spec {
+  std::vector<StmtPtr> top;
+};
+
+}  // namespace liberty::core::lss

@@ -1,0 +1,85 @@
+// Lexer for the Liberty Simulator Specification (LSS) language.
+//
+// The reproduction dialect (documented in README.md, "The LSS language")
+// covers what the paper requires of the specification language: instancing
+// customized module templates, port interconnection, hierarchical module
+// definition with parameter/port forwarding, and "powerful syntax" for
+// generative description (loops, conditionals, expressions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace liberty::core::lss {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,
+  Int,
+  Real,
+  String,
+  // keywords
+  KwParam,
+  KwModule,
+  KwInstance,
+  KwConnect,
+  KwFor,
+  KwIn,
+  KwIf,
+  KwElse,
+  KwInport,
+  KwOutport,
+  KwExport,
+  KwAs,
+  KwTrue,
+  KwFalse,
+  // punctuation / operators
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Semi,
+  Colon,
+  Comma,
+  Dot,
+  DotDot,
+  Arrow,    // ->
+  Assign,   // =
+  Eq,       // ==
+  Ne,       // !=
+  Le,       // <=
+  Ge,       // >=
+  Lt,       // <
+  Gt,       // >
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Not,      // !
+  AndAnd,   // &&
+  OrOr,     // ||
+  Question, // ?
+};
+
+[[nodiscard]] std::string_view tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;        // identifier / string contents
+  std::int64_t int_val = 0;
+  double real_val = 0.0;
+  int line = 1;
+  int col = 1;
+};
+
+/// Tokenize `source`.  `filename` is used only for error messages.
+/// Throws SpecError on malformed input.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source,
+                                          const std::string& filename);
+
+}  // namespace liberty::core::lss

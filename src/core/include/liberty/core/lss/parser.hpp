@@ -1,0 +1,18 @@
+// Recursive-descent parser for the LSS reproduction dialect.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "liberty/core/lss/ast.hpp"
+
+namespace liberty::core::lss {
+
+/// Parse `source` into a Spec.  Throws SpecError with file/line/column on
+/// syntax errors.
+[[nodiscard]] Spec parse(std::string_view source, const std::string& filename);
+
+/// Convenience: read a file and parse it.
+[[nodiscard]] Spec parse_file(const std::string& path);
+
+}  // namespace liberty::core::lss

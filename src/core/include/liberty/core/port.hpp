@@ -1,0 +1,185 @@
+// Ports: a module's communication interface.
+//
+// "Modules specify their interface to other modules via ports.  Each port
+// represents an input or output channel for the module, and may have
+// multiple connections so that users can easily scale the bandwidth a module
+// instance has to the other blocks." (§2.1)
+//
+// A port therefore owns an ordered list of endpoints; each endpoint is
+// either bound to a Connection or unconnected.  Unconnected endpoints get
+// the module template's default semantics (§2.2: "each module template can
+// provide default semantics when some of its ports are left unconnected"):
+// an unconnected input endpoint presents either nothing or a configured
+// constant every cycle, and an unconnected output endpoint is auto-acked (or
+// auto-nacked) so partial specifications still produce working simulators.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "liberty/core/connection.hpp"
+#include "liberty/support/error.hpp"
+
+namespace liberty::core {
+
+class Module;
+
+enum class PortDir : std::uint8_t { In, Out };
+
+class Port {
+ public:
+  Port(Module* owner, std::string name, PortDir dir, std::size_t min_conns,
+       std::size_t max_conns, AckMode default_ack)
+      : owner_(owner),
+        name_(std::move(name)),
+        dir_(dir),
+        min_conns_(min_conns),
+        max_conns_(max_conns),
+        default_ack_(default_ack) {}
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  [[nodiscard]] Module* owner() const noexcept { return owner_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] PortDir dir() const noexcept { return dir_; }
+
+  /// Number of endpoints (grows as connections are made).
+  [[nodiscard]] std::size_t width() const noexcept { return conns_.size(); }
+
+  [[nodiscard]] bool connected(std::size_t i = 0) const noexcept {
+    return i < conns_.size() && conns_[i] != nullptr;
+  }
+  [[nodiscard]] Connection* connection(std::size_t i = 0) const noexcept {
+    return i < conns_.size() ? conns_[i] : nullptr;
+  }
+
+  // ---- Input-side accessors (valid when dir == In) ------------------------
+
+  /// True once this endpoint's forward channel is resolved this cycle.
+  [[nodiscard]] bool forward_known(std::size_t i = 0) const {
+    const auto* c = connection(i);
+    return c == nullptr || c->forward_known();
+  }
+  /// True when data is being offered on this endpoint this cycle.
+  [[nodiscard]] bool has_data(std::size_t i = 0) const {
+    const auto* c = connection(i);
+    if (c == nullptr) return default_value_.has_value();
+    return c->forward_known() && c->enabled();
+  }
+  [[nodiscard]] const Value& data(std::size_t i = 0) const {
+    const auto* c = connection(i);
+    if (c == nullptr) {
+      if (default_value_) return *default_value_;
+      throw liberty::SimulationError("read of unconnected input endpoint " +
+                                     ref(i));
+    }
+    return c->data();
+  }
+  void ack(std::size_t i = 0) {
+    if (auto* c = connection(i)) c->ack();
+  }
+  void nack(std::size_t i = 0) {
+    if (auto* c = connection(i)) c->nack();
+  }
+  [[nodiscard]] bool ack_driven(std::size_t i = 0) const {
+    const auto* c = connection(i);
+    return c == nullptr || c->ack_known();
+  }
+
+  // ---- Output-side accessors (valid when dir == Out) ----------------------
+
+  void send(const Value& v) { send_at(0, v); }
+  void send_at(std::size_t i, const Value& v) {
+    if (auto* c = connection(i)) c->send(v);
+  }
+  void idle(std::size_t i = 0) {
+    if (auto* c = connection(i)) c->idle();
+  }
+  [[nodiscard]] bool sent(std::size_t i = 0) const {
+    const auto* c = connection(i);
+    return c != nullptr && c->forward_known() && c->enabled();
+  }
+  [[nodiscard]] bool ack_known(std::size_t i = 0) const {
+    const auto* c = connection(i);
+    return c == nullptr || c->ack_known();
+  }
+  [[nodiscard]] bool acked(std::size_t i = 0) const {
+    const auto* c = connection(i);
+    if (c == nullptr) return unconnected_ack_;
+    return c->ack_known() && c->acked();
+  }
+
+  // ---- Shared -------------------------------------------------------------
+
+  /// True when this endpoint completes a transfer this cycle (valid once the
+  /// cycle is fully resolved; unconnected outputs "transfer" into the void
+  /// when they sent and the default ack accepts).
+  [[nodiscard]] bool transferred(std::size_t i = 0) const {
+    const auto* c = connection(i);
+    if (c == nullptr) {
+      if (dir_ == PortDir::In) return false;
+      return false;  // nothing was actually sent anywhere
+    }
+    return c->transferred();
+  }
+
+  /// Default value presented by unconnected *input* endpoints.  Unset means
+  /// "offers nothing" (the common default).
+  void set_default_value(Value v) { default_value_ = std::move(v); }
+  [[nodiscard]] const std::optional<Value>& default_value() const noexcept {
+    return default_value_;
+  }
+
+  /// Whether unconnected *output* endpoints report acked().  Defaults to
+  /// true so that producers with nowhere to send do not stall.
+  void set_unconnected_ack(bool a) noexcept { unconnected_ack_ = a; }
+
+  [[nodiscard]] AckMode default_ack_mode() const noexcept {
+    return default_ack_;
+  }
+
+  [[nodiscard]] std::size_t min_connections() const noexcept {
+    return min_conns_;
+  }
+  [[nodiscard]] std::size_t max_connections() const noexcept {
+    return max_conns_;
+  }
+
+  [[nodiscard]] std::string ref(std::size_t i) const;
+
+  /// First unbound endpoint index (append semantics for connect()).
+  [[nodiscard]] std::size_t next_free() const noexcept {
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i] == nullptr) return i;
+    }
+    return conns_.size();
+  }
+
+ private:
+  friend class Netlist;
+
+  /// Bind a connection at endpoint `i`, growing the endpoint list.
+  void bind(std::size_t i, Connection* c) {
+    if (i >= conns_.size()) conns_.resize(i + 1, nullptr);
+    if (conns_[i] != nullptr) {
+      throw liberty::ElaborationError("endpoint already connected: " + ref(i));
+    }
+    conns_[i] = c;
+  }
+
+  Module* owner_;
+  std::string name_;
+  PortDir dir_;
+  std::size_t min_conns_;
+  std::size_t max_conns_;
+  AckMode default_ack_;
+  std::optional<Value> default_value_;
+  bool unconnected_ack_ = true;
+  std::vector<Connection*> conns_;
+};
+
+}  // namespace liberty::core

@@ -1,0 +1,100 @@
+// ModuleRegistry: the shared catalog of module templates.
+//
+// §3 of the paper organizes components into functional libraries (PCL, UPL,
+// CCL, MPL, NIL) that "can freely be used in other libraries".  Every
+// library registers its templates here under "<library>.<template>" names
+// (e.g. "pcl.queue", "ccl.router"), and both C++ model builders and the LSS
+// elaborator instantiate from the same catalog — which is what makes
+// cross-domain composition work without prior planning.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "liberty/core/module.hpp"
+#include "liberty/core/params.hpp"
+#include "liberty/support/error.hpp"
+
+namespace liberty::core {
+
+class ModuleRegistry {
+ public:
+  /// Factory: build a module instance with the given hierarchical instance
+  /// name, customized by `params`.
+  using Factory = std::function<std::unique_ptr<Module>(
+      const std::string& instance_name, const Params& params)>;
+
+  struct TemplateInfo {
+    std::string name;
+    std::string summary;
+    Factory factory;
+  };
+
+  void register_template(std::string name, std::string summary,
+                         Factory factory) {
+    if (templates_.count(name) != 0) {
+      throw liberty::ElaborationError("module template '" + name +
+                                      "' registered twice");
+    }
+    auto& info = templates_[name];
+    info.name = name;
+    info.summary = std::move(summary);
+    info.factory = std::move(factory);
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return templates_.count(name) != 0;
+  }
+
+  [[nodiscard]] std::unique_ptr<Module> instantiate(
+      const std::string& template_name, const std::string& instance_name,
+      const Params& params) const {
+    const auto it = templates_.find(template_name);
+    if (it == templates_.end()) {
+      throw liberty::ElaborationError("unknown module template '" +
+                                      template_name + "'");
+    }
+    auto mod = it->second.factory(instance_name, params);
+    const auto unused = params.unused();
+    if (!unused.empty()) {
+      std::string msg = "unknown parameter(s) for template '" + template_name +
+                        "' (instance '" + instance_name + "'):";
+      for (const auto& u : unused) msg += " " + u;
+      throw liberty::ElaborationError(msg);
+    }
+    return mod;
+  }
+
+  /// Catalog listing ("during deployment, it serves as a catalog to help
+  /// search for the appropriate match", §3).
+  [[nodiscard]] std::vector<const TemplateInfo*> list() const {
+    std::vector<const TemplateInfo*> out;
+    out.reserve(templates_.size());
+    for (const auto& [name, info] : templates_) {
+      (void)name;
+      out.push_back(&info);
+    }
+    return out;
+  }
+
+  /// The process-wide registry pre-populated with every component library
+  /// linked into the binary.
+  static ModuleRegistry& global();
+
+ private:
+  std::map<std::string, TemplateInfo> templates_;
+};
+
+/// Helper for the common case of a module constructible from
+/// (name, params).
+template <typename T>
+ModuleRegistry::Factory simple_factory() {
+  return [](const std::string& name, const Params& params) {
+    return std::make_unique<T>(name, params);
+  };
+}
+
+}  // namespace liberty::core

@@ -1,0 +1,68 @@
+// Simulator: drives a finalized netlist cycle by cycle.
+//
+// This is the "Simulator Executable" of the paper's Figure 1 — except that
+// where the original LSE emitted C source and compiled it, we construct the
+// executable simulator in-process from the elaborated netlist (see
+// DESIGN.md, "Substitutions").
+#pragma once
+
+#include <memory>
+#include <ostream>
+
+#include "liberty/core/netlist.hpp"
+#include "liberty/core/scheduler.hpp"
+#include "liberty/core/types.hpp"
+
+namespace liberty::core {
+
+enum class SchedulerKind { Dynamic, Static };
+
+class Simulator {
+ public:
+  explicit Simulator(Netlist& netlist,
+                     SchedulerKind kind = SchedulerKind::Dynamic)
+      : netlist_(netlist) {
+    if (kind == SchedulerKind::Dynamic) {
+      sched_ = std::make_unique<DynamicScheduler>(netlist);
+    } else {
+      sched_ = std::make_unique<StaticScheduler>(netlist);
+    }
+  }
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+  [[nodiscard]] Netlist& netlist() noexcept { return netlist_; }
+  [[nodiscard]] SchedulerBase& scheduler() noexcept { return *sched_; }
+
+  /// Execute one cycle.
+  void step() { sched_->run_cycle(now_++); }
+
+  /// Run up to `max_cycles` cycles, stopping early when a module calls
+  /// request_stop().  Returns the number of cycles executed.
+  Cycle run(Cycle max_cycles) {
+    Cycle executed = 0;
+    while (executed < max_cycles && !netlist_.stop_requested()) {
+      step();
+      ++executed;
+    }
+    return executed;
+  }
+
+  /// Attach an observer called for every completed transfer.
+  void observe_transfers(SchedulerBase::TransferObserver obs) {
+    sched_->add_transfer_observer(std::move(obs));
+  }
+
+  /// Log every transfer to `os` (a minimal textual waveform for debugging
+  /// and for the visualizer integration the paper anticipates).
+  void trace_transfers(std::ostream& os);
+
+ private:
+  Netlist& netlist_;
+  std::unique_ptr<SchedulerBase> sched_;
+  Cycle now_ = 0;
+};
+
+}  // namespace liberty::core

@@ -1,0 +1,40 @@
+// Fundamental kernel types.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace liberty::core {
+
+/// Simulation time, in clock cycles.  The Liberty model of computation is
+/// synchronous: all modules share one logical clock, and within each cycle
+/// signals resolve to a fixed point before state is committed.
+using Cycle = std::uint64_t;
+
+/// Dense identifier of a connection within a netlist.
+using ConnId = std::size_t;
+
+/// Dense identifier of a module instance within a netlist.
+using ModuleId = std::size_t;
+
+/// A "channel" is one direction of one connection, the unit of scheduling:
+/// the forward channel carries (enable, data) downstream, the backward
+/// channel carries ack upstream.
+using ChannelId = std::size_t;
+
+enum class ChannelKind : std::uint8_t { Forward = 0, Backward = 1 };
+
+[[nodiscard]] constexpr ChannelId forward_channel(ConnId c) noexcept {
+  return c * 2;
+}
+[[nodiscard]] constexpr ChannelId backward_channel(ConnId c) noexcept {
+  return c * 2 + 1;
+}
+[[nodiscard]] constexpr ConnId channel_conn(ChannelId ch) noexcept {
+  return ch / 2;
+}
+[[nodiscard]] constexpr ChannelKind channel_kind(ChannelId ch) noexcept {
+  return (ch % 2 == 0) ? ChannelKind::Forward : ChannelKind::Backward;
+}
+
+}  // namespace liberty::core

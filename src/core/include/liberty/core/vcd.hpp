@@ -1,0 +1,44 @@
+// VcdTracer: dump per-connection transfer activity as a VCD waveform.
+//
+// The paper anticipates "an interactive system visualizer" on top of the
+// constructed simulator.  Netlist::write_dot gives the structure; this
+// gives the activity: one wire per connection, high on every cycle the
+// connection completes a transfer, loadable in any VCD viewer (GTKWave
+// etc.).  Time unit = one simulated cycle.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "liberty/core/netlist.hpp"
+#include "liberty/core/simulator.hpp"
+
+namespace liberty::core {
+
+class VcdTracer {
+ public:
+  /// Writes the VCD header for `netlist` immediately; transfer events are
+  /// recorded once attach()ed to a simulator.
+  VcdTracer(const Netlist& netlist, std::ostream& os);
+
+  /// Register with the simulator's transfer-observer hook.
+  void attach(Simulator& sim);
+
+  /// Emit the final pending time step (call after the run).
+  void finish();
+
+ private:
+  void on_transfer(const Connection& c, Cycle cycle);
+  void emit_cycle();
+  [[nodiscard]] static std::string code_for(std::size_t index);
+
+  std::ostream& os_;
+  std::vector<std::string> codes_;  // per connection id
+  std::vector<bool> prev_;
+  std::vector<bool> cur_;
+  Cycle cur_cycle_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace liberty::core

@@ -1,0 +1,10 @@
+#include "liberty/core/registry.hpp"
+
+namespace liberty::core {
+
+ModuleRegistry& ModuleRegistry::global() {
+  static ModuleRegistry registry;
+  return registry;
+}
+
+}  // namespace liberty::core

@@ -1,0 +1,428 @@
+#include "liberty/core/scheduler.hpp"
+
+#include <algorithm>
+
+#include "liberty/support/error.hpp"
+
+namespace liberty::core {
+
+// ---------------------------------------------------------------------------
+// SchedulerBase
+// ---------------------------------------------------------------------------
+
+SchedulerBase::SchedulerBase(Netlist& netlist) : netlist_(netlist) {
+  if (!netlist.finalized()) {
+    throw liberty::ElaborationError(
+        "scheduler requires a finalized netlist");
+  }
+}
+
+SchedulerBase::~SchedulerBase() { install_hooks(nullptr); }
+
+void SchedulerBase::install_hooks(ResolveHooks* h) {
+  for (const auto& c : netlist_.connections()) c->set_hooks(h);
+}
+
+std::uint64_t SchedulerBase::total_generation() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& c : netlist_.connections()) sum += c->generation();
+  return sum;
+}
+
+void SchedulerBase::run_cycle(Cycle cycle) {
+  for (const auto& m : netlist_.modules()) m->now_ = cycle;
+  for (const auto& m : netlist_.modules()) m->cycle_start(cycle);
+  resolve_cycle();
+  for (const auto& c : netlist_.connections()) {
+    if (!c->fully_resolved()) {
+      throw liberty::SimulationError("internal: unresolved connection " +
+                                     c->describe() + " at end of cycle " +
+                                     std::to_string(cycle));
+    }
+  }
+  for (const auto& m : netlist_.modules()) m->end_of_cycle();
+  if (!observers_.empty()) {
+    for (const auto& c : netlist_.connections()) {
+      if (c->transferred()) {
+        for (const auto& obs : observers_) obs(*c, cycle);
+      }
+    }
+  }
+  for (const auto& c : netlist_.connections()) c->commit_and_reset();
+}
+
+// ---------------------------------------------------------------------------
+// DynamicScheduler
+// ---------------------------------------------------------------------------
+
+DynamicScheduler::DynamicScheduler(Netlist& netlist)
+    : SchedulerBase(netlist), queued_(netlist.module_count(), false) {
+  install_hooks(this);
+}
+
+void DynamicScheduler::enqueue(Module* m) {
+  if (m == nullptr || queued_[m->id()]) return;
+  queued_[m->id()] = true;
+  worklist_.push_back(m);
+}
+
+void DynamicScheduler::drain() {
+  while (!worklist_.empty()) {
+    Module* m = worklist_.front();
+    worklist_.pop_front();
+    queued_[m->id()] = false;
+    call_react(*m);
+  }
+}
+
+void DynamicScheduler::on_forward_resolved(Connection& c) {
+  // Default control: the consumer accepts everything offered.
+  if (c.ack_mode() == AckMode::AutoAccept) apply_auto_accept(c);
+  enqueue(c.consumer());
+}
+
+void DynamicScheduler::on_backward_resolved(Connection& c) {
+  enqueue(c.producer());
+}
+
+void DynamicScheduler::resolve_cycle() {
+  // Every module reacts at least once per cycle so that purely combinational
+  // modules run even when none of their inputs produced an event (e.g. all
+  // inputs unconnected, reading port defaults).
+  for (const auto& m : netlist_.modules()) enqueue(m.get());
+  drain();
+  // Quiescent: no module will drive anything further without new
+  // information.  Default undriven forward channels one at a time (each may
+  // unblock reactions downstream), then undriven backward channels.
+  for (const auto& c : netlist_.connections()) {
+    if (!c->forward_known()) {
+      default_forward(*c);
+      drain();
+    }
+  }
+  for (const auto& c : netlist_.connections()) {
+    if (!c->ack_known()) {
+      default_backward(*c);
+      drain();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StaticScheduler
+// ---------------------------------------------------------------------------
+
+StaticScheduler::StaticScheduler(Netlist& netlist) : SchedulerBase(netlist) {
+  build_graph();
+  compute_sccs();
+}
+
+void StaticScheduler::build_graph() {
+  const auto& conns = netlist_.connections();
+  nodes_.resize(conns.size() * 2);
+  succs_.resize(nodes_.size());
+  preds_.resize(nodes_.size());
+
+  for (const auto& c : conns) {
+    const ChannelId f = forward_channel(c->id());
+    const ChannelId b = backward_channel(c->id());
+    nodes_[f] = Node{c.get(), ChannelKind::Forward, c->producer()};
+    if (c->ack_mode() == AckMode::AutoAccept) {
+      nodes_[b] = Node{c.get(), ChannelKind::Backward, nullptr};
+    } else {
+      nodes_[b] = Node{c.get(), ChannelKind::Backward, c->consumer()};
+    }
+  }
+
+  auto add_edge = [this](ChannelId from, ChannelId to) {
+    succs_[from].push_back(to);
+    preds_[to].push_back(from);
+  };
+
+  // Kernel-driven acks depend exactly on their own forward channel.
+  for (const auto& c : conns) {
+    if (c->ack_mode() == AckMode::AutoAccept) {
+      add_edge(forward_channel(c->id()), backward_channel(c->id()));
+    }
+  }
+
+  // Channels of a port, split by direction of observation from the owning
+  // module's perspective.
+  auto port_channels = [](const Port& p, ChannelKind k) {
+    std::vector<ChannelId> out;
+    for (std::size_t i = 0; i < p.width(); ++i) {
+      if (const Connection* c = p.connection(i)) {
+        out.push_back(k == ChannelKind::Forward ? forward_channel(c->id())
+                                                : backward_channel(c->id()));
+      }
+    }
+    return out;
+  };
+
+  for (const auto& m : netlist_.modules()) {
+    Deps deps;
+    m->declare_deps(deps);
+
+    // Everything this module can observe (conservative source set).
+    std::vector<ChannelId> all_observed;
+    for (const auto& p : m->ports()) {
+      const auto k = p->dir() == PortDir::In ? ChannelKind::Forward
+                                             : ChannelKind::Backward;
+      for (ChannelId ch : port_channels(*p, k)) all_observed.push_back(ch);
+    }
+
+    for (const auto& p : m->ports()) {
+      // The signal group this module drives on port p: forward for outputs,
+      // backward (ack) for managed inputs.
+      std::vector<ChannelId> driven;
+      if (p->dir() == PortDir::Out) {
+        driven = port_channels(*p, ChannelKind::Forward);
+      } else {
+        for (std::size_t i = 0; i < p->width(); ++i) {
+          const Connection* c = p->connection(i);
+          if (c != nullptr && c->ack_mode() == AckMode::Managed) {
+            driven.push_back(backward_channel(c->id()));
+          }
+        }
+      }
+      if (driven.empty()) continue;
+
+      const auto it = deps.declared().find(p.get());
+      std::vector<ChannelId> sources;
+      if (it == deps.declared().end()) {
+        sources = all_observed;
+      } else {
+        for (const SignalRef& ref : it->second) {
+          for (ChannelId ch : port_channels(*ref.port, ref.kind)) {
+            sources.push_back(ch);
+          }
+        }
+      }
+      for (ChannelId s : sources) {
+        for (ChannelId d : driven) {
+          if (s != d) add_edge(s, d);
+        }
+      }
+    }
+  }
+
+  // Deduplicate adjacency lists.
+  auto dedupe = [](std::vector<std::vector<ChannelId>>& adj) {
+    for (auto& lst : adj) {
+      std::sort(lst.begin(), lst.end());
+      lst.erase(std::unique(lst.begin(), lst.end()), lst.end());
+    }
+  };
+  dedupe(succs_);
+  dedupe(preds_);
+}
+
+void StaticScheduler::compute_sccs() {
+  // Iterative Tarjan.  SCCs are emitted sinks-first (reverse topological
+  // order of the condensation); we reverse at the end.
+  const std::size_t n = nodes_.size();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<ChannelId> stack;
+  std::size_t next_index = 0;
+
+  struct Frame {
+    ChannelId v;
+    std::size_t child = 0;
+  };
+  std::vector<Frame> call_stack;
+
+  for (ChannelId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& fr = call_stack.back();
+      const ChannelId v = fr.v;
+      if (fr.child < succs_[v].size()) {
+        const ChannelId w = succs_[v][fr.child++];
+        if (index[w] == kUnvisited) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      } else {
+        if (low[v] == index[v]) {
+          std::vector<ChannelId> scc;
+          while (true) {
+            const ChannelId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          std::sort(scc.begin(), scc.end());
+          sccs_.push_back(std::move(scc));
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const ChannelId parent = call_stack.back().v;
+          low[parent] = std::min(low[parent], low[v]);
+        }
+      }
+    }
+  }
+  std::reverse(sccs_.begin(), sccs_.end());
+
+  self_loop_.resize(sccs_.size(), false);
+  for (std::size_t i = 0; i < sccs_.size(); ++i) {
+    if (sccs_[i].size() == 1) {
+      const ChannelId v = sccs_[i][0];
+      self_loop_[i] = std::binary_search(succs_[v].begin(), succs_[v].end(), v);
+    }
+  }
+}
+
+std::size_t StaticScheduler::largest_scc() const noexcept {
+  std::size_t best = 0;
+  for (const auto& s : sccs_) best = std::max(best, s.size());
+  return best;
+}
+
+bool StaticScheduler::node_resolved(ChannelId id) const {
+  const Node& n = nodes_[id];
+  return n.kind == ChannelKind::Forward ? n.conn->forward_known()
+                                        : n.conn->ack_known();
+}
+
+void StaticScheduler::execute_node(ChannelId id) {
+  const Node& n = nodes_[id];
+  Connection& c = *n.conn;
+  if (n.kind == ChannelKind::Forward) {
+    if (c.forward_known()) return;
+    call_react(*n.driver);
+    if (!c.forward_known()) default_forward(c);
+  } else {
+    if (c.ack_known()) return;
+    if (n.driver == nullptr) {
+      // AutoAccept: forward is topologically ordered before us, so the
+      // offer is known (or was defaulted) by now.
+      if (c.forward_known()) apply_auto_accept(c);
+    } else {
+      call_react(*n.driver);
+      if (!c.ack_known()) default_backward(c);
+    }
+  }
+}
+
+void StaticScheduler::run_scc(const std::vector<ChannelId>& group) {
+  // Distinct driver modules of the group.
+  std::vector<Module*> drivers;
+  for (ChannelId ch : group) {
+    Module* d = nodes_[ch].driver;
+    if (d != nullptr &&
+        std::find(drivers.begin(), drivers.end(), d) == drivers.end()) {
+      drivers.push_back(d);
+    }
+  }
+
+  // Channels are defaulted forwards-first so that a gated or auto ack never
+  // has to wait on an unknown offer within the group.
+  std::vector<ChannelId> order = group;
+  std::sort(order.begin(), order.end(), [this](ChannelId a, ChannelId b) {
+    const bool af = nodes_[a].kind == ChannelKind::Forward;
+    const bool bf = nodes_[b].kind == ChannelKind::Forward;
+    if (af != bf) return af;
+    return a < b;
+  });
+
+  auto group_generation = [this, &group]() {
+    std::uint64_t sum = 0;
+    for (ChannelId ch : group) sum += nodes_[ch].conn->generation();
+    return sum;
+  };
+
+  while (true) {
+    // React to quiescence within the group.
+    while (true) {
+      const std::uint64_t before = group_generation();
+      for (Module* d : drivers) call_react(*d);
+      for (ChannelId ch : group) {
+        const Node& n = nodes_[ch];
+        if (n.kind == ChannelKind::Backward && n.driver == nullptr &&
+            n.conn->forward_known()) {
+          apply_auto_accept(*n.conn);
+        }
+      }
+      if (group_generation() == before) break;
+    }
+    // Default the first still-unresolved channel and go around again.
+    ChannelId target = 0;
+    bool found = false;
+    for (ChannelId ch : order) {
+      if (!node_resolved(ch)) {
+        target = ch;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return;
+    const Node& n = nodes_[target];
+    if (n.kind == ChannelKind::Forward) {
+      default_forward(*n.conn);
+    } else if (n.driver == nullptr) {
+      apply_auto_accept(*n.conn);
+    } else {
+      default_backward(*n.conn);
+    }
+  }
+}
+
+void StaticScheduler::cleanup_unresolved() {
+  // Rare endgame for channels the schedule could not attribute (e.g. a
+  // gated ack whose intent was pending on a forward in a later SCC).
+  // Mirrors the dynamic scheduler's quiesce-then-default loop globally.
+  while (true) {
+    bool any = false;
+    for (ChannelId ch = 0; ch < nodes_.size(); ++ch) {
+      if (!node_resolved(ch)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return;
+    while (true) {
+      const std::uint64_t before = total_generation();
+      for (const auto& m : netlist_.modules()) call_react(*m);
+      for (const auto& c : netlist_.connections()) {
+        if (c->ack_mode() == AckMode::AutoAccept && c->forward_known()) {
+          apply_auto_accept(*c);
+        }
+      }
+      if (total_generation() == before) break;
+    }
+    for (ChannelId ch = 0; ch < nodes_.size(); ++ch) {
+      if (!node_resolved(ch)) {
+        execute_node(ch);
+        break;
+      }
+    }
+  }
+}
+
+void StaticScheduler::resolve_cycle() {
+  for (std::size_t i = 0; i < sccs_.size(); ++i) {
+    const auto& group = sccs_[i];
+    if (group.size() == 1 && !self_loop_[i]) {
+      execute_node(group[0]);
+    } else {
+      run_scc(group);
+    }
+  }
+  cleanup_unresolved();
+}
+
+}  // namespace liberty::core

@@ -1,0 +1,12 @@
+#include "liberty/core/simulator.hpp"
+
+namespace liberty::core {
+
+void Simulator::trace_transfers(std::ostream& os) {
+  observe_transfers([&os](const Connection& c, Cycle cycle) {
+    os << "@" << cycle << "  " << c.describe() << "  " << c.data().to_string()
+       << '\n';
+  });
+}
+
+}  // namespace liberty::core

@@ -1,0 +1,86 @@
+#include "liberty/core/vcd.hpp"
+
+#include <algorithm>
+
+namespace liberty::core {
+
+namespace {
+std::string sanitize(std::string s) {
+  for (char& c : s) {
+    if (c == '.' || c == '[' || c == ']' || c == ' ') c = '_';
+  }
+  return s;
+}
+}  // namespace
+
+std::string VcdTracer::code_for(std::size_t index) {
+  // Printable identifier codes, base 94 starting at '!'.
+  std::string code;
+  do {
+    code += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+VcdTracer::VcdTracer(const Netlist& netlist, std::ostream& os) : os_(os) {
+  const auto& conns = netlist.connections();
+  codes_.reserve(conns.size());
+  prev_.assign(conns.size(), false);
+  cur_.assign(conns.size(), false);
+
+  os_ << "$timescale 1ns $end\n$scope module netlist $end\n";
+  for (const auto& c : conns) {
+    codes_.push_back(code_for(c->id()));
+    os_ << "$var wire 1 " << codes_.back() << ' '
+        << sanitize(c->producer_ref() + "__to__" + c->consumer_ref())
+        << " $end\n";
+  }
+  os_ << "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+  for (const auto& code : codes_) os_ << '0' << code << '\n';
+  os_ << "$end\n";
+}
+
+void VcdTracer::attach(Simulator& sim) {
+  sim.observe_transfers([this](const Connection& c, Cycle cycle) {
+    on_transfer(c, cycle);
+  });
+}
+
+void VcdTracer::emit_cycle() {
+  bool any = false;
+  for (std::size_t i = 0; i < cur_.size(); ++i) {
+    if (cur_[i] != prev_[i]) {
+      if (!any) {
+        os_ << '#' << cur_cycle_ << '\n';
+        any = true;
+      }
+      os_ << (cur_[i] ? '1' : '0') << codes_[i] << '\n';
+    }
+  }
+  prev_ = cur_;
+  std::fill(cur_.begin(), cur_.end(), false);
+}
+
+void VcdTracer::on_transfer(const Connection& c, Cycle cycle) {
+  if (started_ && cycle != cur_cycle_) {
+    emit_cycle();
+    // Quiet gap: wires that were high must drop at the next cycle edge.
+    if (cycle > cur_cycle_ + 1) {
+      cur_cycle_ += 1;
+      emit_cycle();
+    }
+  }
+  started_ = true;
+  cur_cycle_ = cycle;
+  cur_[c.id()] = true;
+}
+
+void VcdTracer::finish() {
+  if (!started_) return;
+  emit_cycle();
+  cur_cycle_ += 1;
+  emit_cycle();  // drop all wires after the last activity
+}
+
+}  // namespace liberty::core

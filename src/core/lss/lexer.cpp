@@ -1,0 +1,264 @@
+#include "liberty/core/lss/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "liberty/support/error.hpp"
+
+namespace liberty::core::lss {
+
+std::string_view tok_name(Tok t) {
+  switch (t) {
+    case Tok::End: return "end of input";
+    case Tok::Ident: return "identifier";
+    case Tok::Int: return "integer literal";
+    case Tok::Real: return "real literal";
+    case Tok::String: return "string literal";
+    case Tok::KwParam: return "'param'";
+    case Tok::KwModule: return "'module'";
+    case Tok::KwInstance: return "'instance'";
+    case Tok::KwConnect: return "'connect'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwIn: return "'in'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwInport: return "'inport'";
+    case Tok::KwOutport: return "'outport'";
+    case Tok::KwExport: return "'export'";
+    case Tok::KwAs: return "'as'";
+    case Tok::KwTrue: return "'true'";
+    case Tok::KwFalse: return "'false'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Comma: return "','";
+    case Tok::Dot: return "'.'";
+    case Tok::DotDot: return "'..'";
+    case Tok::Arrow: return "'->'";
+    case Tok::Assign: return "'='";
+    case Tok::Eq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::Le: return "'<='";
+    case Tok::Ge: return "'>='";
+    case Tok::Lt: return "'<'";
+    case Tok::Gt: return "'>'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Not: return "'!'";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::Question: return "'?'";
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+const std::map<std::string, Tok, std::less<>>& keywords() {
+  static const std::map<std::string, Tok, std::less<>> kw = {
+      {"param", Tok::KwParam},       {"module", Tok::KwModule},
+      {"instance", Tok::KwInstance}, {"connect", Tok::KwConnect},
+      {"for", Tok::KwFor},           {"in", Tok::KwIn},
+      {"if", Tok::KwIf},             {"else", Tok::KwElse},
+      {"inport", Tok::KwInport},     {"outport", Tok::KwOutport},
+      {"export", Tok::KwExport},     {"as", Tok::KwAs},
+      {"true", Tok::KwTrue},         {"false", Tok::KwFalse},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src, const std::string& file) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  auto error = [&](const std::string& msg) -> void {
+    throw liberty::SpecError(file, line, col, msg);
+  };
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+  auto push = [&](Tok kind, int tline, int tcol) -> Token& {
+    out.push_back(Token{kind, {}, 0, 0.0, tline, tcol});
+    return out.back();
+  };
+
+  while (i < src.size()) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance(2);
+      while (i < src.size() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (i >= src.size()) error("unterminated block comment");
+      advance(2);
+      continue;
+    }
+
+    const int tline = line;
+    const int tcol = col;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        ident += peek();
+        advance();
+      }
+      const auto it = keywords().find(ident);
+      if (it != keywords().end()) {
+        push(it->second, tline, tcol);
+      } else {
+        push(Tok::Ident, tline, tcol).text = std::move(ident);
+      }
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool is_real = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        num += peek();
+        advance();
+      }
+      // '.' starts a fraction only when followed by a digit; "0..N" must
+      // lex as Int DotDot.
+      if (peek() == '.' &&
+          std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_real = true;
+        num += peek();
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          num += peek();
+          advance();
+        }
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        is_real = true;
+        num += peek();
+        advance();
+        if (peek() == '+' || peek() == '-') {
+          num += peek();
+          advance();
+        }
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+          error("malformed exponent in numeric literal");
+        }
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          num += peek();
+          advance();
+        }
+      }
+      if (is_real) {
+        push(Tok::Real, tline, tcol).real_val = std::stod(num);
+      } else {
+        push(Tok::Int, tline, tcol).int_val = std::stoll(num);
+      }
+      continue;
+    }
+
+    if (c == '"') {
+      advance();
+      std::string s;
+      while (i < src.size() && peek() != '"') {
+        if (peek() == '\\') {
+          advance();
+          switch (peek()) {
+            case 'n': s += '\n'; break;
+            case 't': s += '\t'; break;
+            case '\\': s += '\\'; break;
+            case '"': s += '"'; break;
+            default: error("unknown escape in string literal");
+          }
+          advance();
+        } else {
+          s += peek();
+          advance();
+        }
+      }
+      if (i >= src.size()) error("unterminated string literal");
+      advance();  // closing quote
+      push(Tok::String, tline, tcol).text = std::move(s);
+      continue;
+    }
+
+    auto two = [&](char a, char b, Tok t) -> bool {
+      if (c == a && peek(1) == b) {
+        push(t, tline, tcol);
+        advance(2);
+        return true;
+      }
+      return false;
+    };
+    if (two('-', '>', Tok::Arrow)) continue;
+    if (two('.', '.', Tok::DotDot)) continue;
+    if (two('=', '=', Tok::Eq)) continue;
+    if (two('!', '=', Tok::Ne)) continue;
+    if (two('<', '=', Tok::Le)) continue;
+    if (two('>', '=', Tok::Ge)) continue;
+    if (two('&', '&', Tok::AndAnd)) continue;
+    if (two('|', '|', Tok::OrOr)) continue;
+
+    Tok single;
+    switch (c) {
+      case '{': single = Tok::LBrace; break;
+      case '}': single = Tok::RBrace; break;
+      case '[': single = Tok::LBracket; break;
+      case ']': single = Tok::RBracket; break;
+      case '(': single = Tok::LParen; break;
+      case ')': single = Tok::RParen; break;
+      case ';': single = Tok::Semi; break;
+      case ':': single = Tok::Colon; break;
+      case ',': single = Tok::Comma; break;
+      case '.': single = Tok::Dot; break;
+      case '=': single = Tok::Assign; break;
+      case '<': single = Tok::Lt; break;
+      case '>': single = Tok::Gt; break;
+      case '+': single = Tok::Plus; break;
+      case '-': single = Tok::Minus; break;
+      case '*': single = Tok::Star; break;
+      case '/': single = Tok::Slash; break;
+      case '%': single = Tok::Percent; break;
+      case '!': single = Tok::Not; break;
+      case '?': single = Tok::Question; break;
+      default:
+        error(std::string("unexpected character '") + c + "'");
+        return out;  // unreachable
+    }
+    push(single, tline, tcol);
+    advance();
+  }
+
+  push(Tok::End, line, col);
+  return out;
+}
+
+}  // namespace liberty::core::lss

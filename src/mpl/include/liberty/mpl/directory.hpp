@@ -1,0 +1,152 @@
+// Directory-based MSI coherence (§3.4: "point-to-point coherence
+// transactions for scalable systems").
+//
+// DirCache instances and DirectoryCtl home nodes exchange CohMsg traffic
+// point-to-point — through nil::FabricAdapter over any CCL fabric, or wired
+// directly.  Homes can be interleaved across several nodes by line address.
+//
+// Protocol (full-map MSI, home-centric):
+//   GetS:  U/S -> Data(S); M -> Fetch owner, collect WbData, Data(S).
+//   GetX:  U -> Data(X); S -> Inv sharers, collect InvAcks, Data(X);
+//          M -> Fetch owner (invalidating), collect WbData, Data(X).
+//   Dirty eviction -> WbData to home (state U).  Shared evictions are
+//   silent; a stale sharer simply InvAcks an Inv for a line it no longer
+//   holds.
+// The home serializes transactions per line: requests that hit a busy line
+// wait on that line's queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "liberty/core/module.hpp"
+#include "liberty/core/params.hpp"
+#include "liberty/mpl/messages.hpp"
+#include "liberty/upl/cache.hpp"
+
+namespace liberty::mpl {
+
+/// Address-to-home mapping shared by caches and directories.
+struct HomeMap {
+  std::size_t home0 = 0;      // node id of the first home
+  std::size_t num_homes = 1;  // interleaving factor
+  std::size_t stride = 1;     // node-id distance between homes
+  std::size_t line_words = 4;
+
+  [[nodiscard]] std::size_t home_of(std::uint64_t line) const {
+    return home0 + ((line / line_words) % num_homes) * stride;
+  }
+};
+
+/// The directory + memory at one home node.
+///
+/// Ports: msg_in (requests/acks from the fabric), msg_out (replies).
+/// Parameters: id (node id), home0/num_homes/home_stride/line_words
+/// (interleaving), latency (memory access).
+///
+/// Stats: gets, getx, fetches, invs, data_sent, queued.
+class DirectoryCtl : public liberty::core::Module {
+ public:
+  DirectoryCtl(const std::string& name, const liberty::core::Params& params);
+
+  void cycle_start(liberty::core::Cycle c) override;
+  void end_of_cycle() override;
+  void declare_deps(liberty::core::Deps& deps) const override;
+
+  void poke(std::uint64_t addr, std::int64_t v) { store_[addr] = v; }
+  [[nodiscard]] std::int64_t peek(std::uint64_t addr) const {
+    const auto it = store_.find(addr);
+    return it == store_.end() ? 0 : it->second;
+  }
+
+ private:
+  enum class LineState : std::uint8_t { Uncached, Shared, Modified };
+
+  struct DirEntry {
+    LineState state = LineState::Uncached;
+    std::set<std::size_t> sharers;
+    std::size_t owner = 0;
+  };
+
+  struct Transaction {
+    bool is_getx = false;
+    std::size_t requester = 0;
+    std::size_t pending_acks = 0;
+    bool waiting_fetch = false;
+  };
+
+  void handle(const CohMsg& msg);
+  void start_request(const CohMsg& msg);
+  void finish_transaction(std::uint64_t line);
+  void send(CohMsg::Type type, std::uint64_t line, std::size_t dst,
+            std::vector<std::int64_t> words = {}, bool exclusive = false);
+  [[nodiscard]] std::vector<std::int64_t> read_line(std::uint64_t line) const;
+
+  liberty::core::Port& msg_in_;
+  liberty::core::Port& msg_out_;
+  std::size_t id_num_;
+  HomeMap map_;
+  std::uint64_t latency_;
+
+  std::unordered_map<std::uint64_t, std::int64_t> store_;
+  std::unordered_map<std::uint64_t, DirEntry> dir_;
+  std::unordered_map<std::uint64_t, Transaction> busy_;
+  std::unordered_map<std::uint64_t, std::deque<liberty::Value>> waiting_;
+  std::deque<liberty::Value> outq_;
+  std::deque<liberty::core::Cycle> out_ready_;
+};
+
+/// Coherent L1 speaking the directory protocol.
+///
+/// Ports: cpu_req/cpu_resp, msg_out (to fabric), msg_in (from fabric).
+/// Parameters: id, sets, ways, line_words, hit_latency, plus the HomeMap
+/// fields (home0/num_homes/home_stride).
+///
+/// Stats: hits, misses, upgrades, invalidations_rx, fetches_rx, writebacks.
+class DirCache : public liberty::core::Module {
+ public:
+  DirCache(const std::string& name, const liberty::core::Params& params);
+
+  void cycle_start(liberty::core::Cycle c) override;
+  void end_of_cycle() override;
+  void declare_deps(liberty::core::Deps& deps) const override;
+
+ private:
+  static constexpr std::int64_t kShared = 1;
+  static constexpr std::int64_t kModified = 2;
+
+  struct Outstanding {
+    liberty::Value cpu_req;
+    std::uint64_t line = 0;
+  };
+
+  void handle_cpu(const liberty::Value& v);
+  void handle_msg(const CohMsg& msg);
+  void complete_locally(const liberty::Value& req_value);
+  void send(CohMsg::Type type, std::uint64_t line, std::size_t dst,
+            std::vector<std::int64_t> words = {}, bool exclusive = false);
+
+  liberty::core::Port& cpu_req_;
+  liberty::core::Port& cpu_resp_;
+  liberty::core::Port& msg_out_;
+  liberty::core::Port& msg_in_;
+
+  std::size_t id_num_;
+  upl::CacheModel model_;
+  std::uint64_t hit_latency_;
+  HomeMap map_;
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> data_;
+
+  std::optional<Outstanding> miss_;
+  std::deque<liberty::Value> outq_;
+  std::deque<liberty::Value> respq_;
+  std::deque<liberty::core::Cycle> resp_ready_;
+};
+
+}  // namespace liberty::mpl

@@ -1,0 +1,91 @@
+// DMA controller (§3.4: "DMA controllers (for simulating low-overhead
+// message-passing systems)").
+//
+// One DmaCtl per node gives the node a message-passing capability: software
+// (or a test harness) programs a transfer through the register interface;
+// the controller streams the source range out of local memory, ships it
+// across the fabric in DmaChunk messages, and the peer controller writes it
+// into remote memory, raising a completion flag the remote processor can
+// poll.  The register block is exposed both as a C++ API and as MMIO
+// callbacks pluggable into upl::SimpleCpu::map_mmio.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "liberty/core/module.hpp"
+#include "liberty/core/params.hpp"
+#include "liberty/mpl/messages.hpp"
+
+namespace liberty::mpl {
+
+/// Ports: mem_req/mem_resp (local memory, pcl::MemReq protocol),
+/// net_out/net_in (DmaChunk messages, Routable — wire through a
+/// nil::FabricAdapter or directly to the peer).
+///
+/// Register block (word offsets for mmio_read/mmio_write):
+///   0 src_addr   1 dst_node   2 dst_addr   3 length
+///   4 control: write 1 starts a transfer; read -> bit0 = tx busy
+///   5 rx_words received so far (read)
+///   6 rx_done: 1 once a `last` chunk has been written (write 0 clears)
+///
+/// Parameters: chunk_words (words per message)                    [8]
+/// Stats: tx_chunks, rx_chunks, tx_words, rx_words.
+class DmaCtl : public liberty::core::Module {
+ public:
+  DmaCtl(const std::string& name, const liberty::core::Params& params);
+
+  void cycle_start(liberty::core::Cycle c) override;
+  void end_of_cycle() override;
+  void declare_deps(liberty::core::Deps& deps) const override;
+
+  // Register interface.
+  [[nodiscard]] std::int64_t mmio_read(std::uint64_t reg) const;
+  void mmio_write(std::uint64_t reg, std::int64_t v);
+
+  /// Convenience for tests/examples: program and start a transfer.
+  void start_transfer(std::uint64_t src_addr, std::size_t dst_node,
+                      std::uint64_t dst_addr, std::uint64_t length);
+
+  [[nodiscard]] bool tx_busy() const noexcept { return tx_.has_value(); }
+  [[nodiscard]] bool rx_done() const noexcept { return rx_done_; }
+  [[nodiscard]] std::uint64_t rx_words() const noexcept { return rx_words_; }
+
+ private:
+  struct TxState {
+    std::uint64_t src_addr;
+    std::size_t dst_node;
+    std::uint64_t dst_addr;
+    std::uint64_t length;
+    std::uint64_t read_issued = 0;   // words requested from local memory
+    std::uint64_t read_done = 0;     // words received
+    std::vector<std::int64_t> data;  // gathered source words
+    std::uint64_t sent_words = 0;
+  };
+
+  liberty::core::Port& mem_req_;
+  liberty::core::Port& mem_resp_;
+  liberty::core::Port& net_out_;
+  liberty::core::Port& net_in_;
+  std::size_t chunk_words_;
+  std::uint64_t xfer_id_ = 1;
+
+  // Register file backing.
+  std::uint64_t reg_src_ = 0;
+  std::uint64_t reg_dst_node_ = 0;
+  std::uint64_t reg_dst_addr_ = 0;
+  std::uint64_t reg_len_ = 0;
+
+  std::optional<TxState> tx_;
+  std::deque<liberty::Value> memq_;   // outstanding local memory requests
+  bool mem_in_flight_ = false;
+  std::deque<liberty::Value> netq_;   // chunks awaiting transmission
+  std::deque<std::pair<std::uint64_t, std::int64_t>> rx_writes_;
+  bool rx_last_seen_ = false;
+  bool rx_done_ = false;
+  std::uint64_t rx_words_ = 0;
+};
+
+}  // namespace liberty::mpl

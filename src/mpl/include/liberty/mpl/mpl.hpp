@@ -1,0 +1,20 @@
+// Multiprocessor Component Library (MPL) — umbrella header.
+//
+// "The MPL includes the modular components required for implementing a
+// structural specification of a multiprocessor" (§3.4): coherence engines
+// (snooping + directory), DMA controllers, and memory ordering controllers.
+#pragma once
+
+#include "liberty/core/registry.hpp"
+#include "liberty/mpl/directory.hpp"
+#include "liberty/mpl/dma.hpp"
+#include "liberty/mpl/messages.hpp"
+#include "liberty/mpl/ordering.hpp"
+#include "liberty/mpl/snoop.hpp"
+
+namespace liberty::mpl {
+
+/// Register every MPL template ("mpl.*") with `registry`.
+void register_mpl(liberty::core::ModuleRegistry& registry);
+
+}  // namespace liberty::mpl

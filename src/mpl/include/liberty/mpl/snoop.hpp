@@ -1,0 +1,156 @@
+// Bus-based snooping MSI coherence (§3.4: "bus-based snooping for small
+// scale multiprocessors").
+//
+// SnoopCache instances and one SnoopMemory hang off a broadcast ccl::Bus;
+// every transaction is observed by everyone, which is both the protocol's
+// correctness mechanism and its scaling limit (bench_coherence measures the
+// crossover against the directory protocol).
+//
+// The protocol uses **atomic transactions**, like the classic MSI buses it
+// models: at most one GetS/GetX is open on the bus at any time.  Each agent
+// tracks the open transaction from the broadcast stream itself — a GetS or
+// GetX opens it, the requester's explicit Done closes it — and holds its
+// own requests while a foreign transaction is open (data traffic flows
+// freely).  This serializes conflicting requests completely, which is what
+// makes the protocol simple; its cost in bandwidth is exactly the scaling
+// wall the directory protocol removes.
+//
+// Protocol notes:
+//  * MSI states live in CacheModel::Line::meta (1 = S, 2 = M).
+//  * An M owner supplies data on a remote GetS (downgrading to S) or GetX
+//    (invalidating); memory reflects every Data/WbData broadcast, so lines
+//    in S are always clean in memory.
+//  * SnoopMemory tracks line ownership from the serialized GetX/WbData
+//    stream and stays silent whenever a cache owns the line, so exactly
+//    one supplier answers each request.
+//  * A write hit on S issues an upgrade GetX; it completes when the cache
+//    observes its own GetX with the S copy still present.  If a racing
+//    writer invalidated the copy first, the same GetX simply acts as a
+//    plain miss and the cache waits for Data.
+//  * Eviction race: a cache whose M line is in its outgoing WbData queue
+//    still answers requests for it from that queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "liberty/core/module.hpp"
+#include "liberty/core/params.hpp"
+#include "liberty/mpl/messages.hpp"
+#include "liberty/upl/cache.hpp"
+
+namespace liberty::mpl {
+
+/// Coherent L1 for the snooping bus.
+///
+/// Ports: cpu_req/cpu_resp (pcl::MemReq protocol), bus_out (to the bus),
+/// bus_in (from the bus, sees every transaction including its own).
+///
+/// Parameters: id (cache id, must be unique), sets, ways, line_words,
+/// hit_latency.
+///
+/// Stats: hits, misses, upgrades, supplies, supplies_from_wb,
+/// invalidations_rx, writebacks.
+class SnoopCache : public liberty::core::Module {
+ public:
+  SnoopCache(const std::string& name, const liberty::core::Params& params);
+
+  void cycle_start(liberty::core::Cycle c) override;
+  void end_of_cycle() override;
+  void declare_deps(liberty::core::Deps& deps) const override;
+
+  [[nodiscard]] std::size_t cache_id() const noexcept { return id_num_; }
+
+  /// Human-readable protocol state for one line (debugging aid).
+  [[nodiscard]] std::string debug_state(std::uint64_t addr) const;
+
+ private:
+  static constexpr std::int64_t kShared = 1;
+  static constexpr std::int64_t kModified = 2;
+
+  struct Outstanding {
+    liberty::Value cpu_req;  // the stalled MemReq
+    std::uint64_t line = 0;
+    bool upgrade = false;    // GetX while holding S
+    std::uint64_t tag = 0;   // echoed by the Data reply
+  };
+
+  void handle_cpu(const liberty::Value& v);
+  void snoop(const CohMsg& msg);
+  void supply_from_writeback(const CohMsg& msg, bool exclusive);
+  void install_and_complete(const CohMsg& data);
+  void complete_locally(const liberty::Value& req_value);
+  void send(CohMsg::Type type, std::uint64_t line, std::size_t dst,
+            std::vector<std::int64_t> words = {}, bool exclusive = false,
+            std::uint64_t tag = 0);
+  /// May this queued message go on the bus now?  Requests are gated while
+  /// a foreign transaction is open; everything else flows.
+  [[nodiscard]] bool sendable(const CohMsg& msg) const;
+
+  liberty::core::Port& cpu_req_;
+  liberty::core::Port& cpu_resp_;
+  liberty::core::Port& bus_out_;
+  liberty::core::Port& bus_in_;
+
+  std::size_t id_num_;
+  upl::CacheModel model_;
+  std::uint64_t hit_latency_;
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> data_;
+  std::uint64_t next_tag_ = 1;
+
+  // Global transaction view, reconstructed from the broadcast stream.
+  bool txn_open_ = false;
+  std::size_t txn_src_ = 0;
+
+  std::optional<Outstanding> miss_;
+  std::deque<liberty::Value> outq_;
+  std::optional<std::size_t> sending_;  // index in outq_ offered this cycle
+  std::deque<liberty::Value> respq_;
+  std::deque<liberty::core::Cycle> resp_ready_;
+};
+
+/// The memory controller on the snooping bus.
+///
+/// Parameters: line_words, latency.
+/// Stats: responses, suppressed (owner answered instead), reflections.
+class SnoopMemory : public liberty::core::Module {
+ public:
+  SnoopMemory(const std::string& name, const liberty::core::Params& params);
+
+  void cycle_start(liberty::core::Cycle c) override;
+  void end_of_cycle() override;
+  void declare_deps(liberty::core::Deps& deps) const override;
+
+  void poke(std::uint64_t addr, std::int64_t v) { store_[addr] = v; }
+  [[nodiscard]] std::int64_t peek(std::uint64_t addr) const {
+    const auto it = store_.find(addr);
+    return it == store_.end() ? 0 : it->second;
+  }
+
+  /// Which cache id memory believes owns `line` (-1 = none).  Debug aid.
+  [[nodiscard]] std::int64_t debug_owner(std::uint64_t line) const {
+    const auto it = owner_.find(line);
+    return it == owner_.end() ? -1 : static_cast<std::int64_t>(it->second);
+  }
+
+ private:
+  struct PendingResp {
+    liberty::Value msg;
+    liberty::core::Cycle ready;
+  };
+
+  liberty::core::Port& bus_in_;
+  liberty::core::Port& bus_out_;
+  std::size_t line_words_;
+  std::uint64_t latency_;
+  std::unordered_map<std::uint64_t, std::int64_t> store_;
+  std::unordered_map<std::uint64_t, std::size_t> owner_;  // line -> cache id
+  std::deque<PendingResp> pending_;
+};
+
+}  // namespace liberty::mpl

@@ -1,0 +1,23 @@
+#include "liberty/mpl/mpl.hpp"
+
+namespace liberty::mpl {
+
+using liberty::core::ModuleRegistry;
+using liberty::core::simple_factory;
+
+void register_mpl(ModuleRegistry& r) {
+  r.register_template("mpl.snoop_cache", "MSI snooping coherent cache",
+                      simple_factory<SnoopCache>());
+  r.register_template("mpl.snoop_memory", "memory controller on a snoop bus",
+                      simple_factory<SnoopMemory>());
+  r.register_template("mpl.dir_cache", "directory-protocol coherent cache",
+                      simple_factory<DirCache>());
+  r.register_template("mpl.directory", "full-map MSI directory + memory",
+                      simple_factory<DirectoryCtl>());
+  r.register_template("mpl.ordering", "SC/TSO memory ordering controller",
+                      simple_factory<OrderingCtl>());
+  r.register_template("mpl.dma", "DMA controller for message passing",
+                      simple_factory<DmaCtl>());
+}
+
+}  // namespace liberty::mpl

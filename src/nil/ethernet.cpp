@@ -1,0 +1,22 @@
+#include "liberty/nil/ethernet.hpp"
+
+namespace liberty::nil {
+
+std::uint32_t crc32(const std::vector<std::int64_t>& words) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  auto feed = [&crc](std::uint8_t byte) {
+    crc ^= byte;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+  };
+  for (const std::int64_t w : words) {
+    const auto u = static_cast<std::uint64_t>(w);
+    for (int b = 0; b < 8; ++b) {
+      feed(static_cast<std::uint8_t>(u >> (8 * b)));
+    }
+  }
+  return ~crc;
+}
+
+}  // namespace liberty::nil

@@ -1,0 +1,17 @@
+// Network Interface Library (NIL) — umbrella header.
+//
+// "This consists of components that serve as interfaces across network
+// boundaries and in between networks and processors." (§3)
+#pragma once
+
+#include "liberty/core/registry.hpp"
+#include "liberty/nil/ethernet.hpp"
+#include "liberty/nil/fabric_adapter.hpp"
+#include "liberty/nil/nic.hpp"
+
+namespace liberty::nil {
+
+/// Register every NIL template ("nil.*") with `registry`.
+void register_nil(liberty::core::ModuleRegistry& registry);
+
+}  // namespace liberty::nil

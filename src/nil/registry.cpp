@@ -1,0 +1,17 @@
+#include "liberty/nil/nil.hpp"
+
+namespace liberty::nil {
+
+using liberty::core::ModuleRegistry;
+using liberty::core::simple_factory;
+
+void register_nil(ModuleRegistry& r) {
+  r.register_template("nil.fabric_adapter",
+                      "message <-> flit format converter",
+                      simple_factory<FabricAdapter>());
+  r.register_template("nil.nic_assist",
+                      "programmable NIC hardware assists (DMA + MAC)",
+                      simple_factory<NicAssist>());
+}
+
+}  // namespace liberty::nil

@@ -1,0 +1,88 @@
+#include "liberty/pcl/buffer.hpp"
+
+#include <algorithm>
+
+#include "liberty/support/error.hpp"
+
+namespace liberty::pcl {
+
+using liberty::core::AckMode;
+using liberty::core::Cycle;
+using liberty::core::Deps;
+using liberty::core::Params;
+
+Buffer::Buffer(const std::string& name, const Params& params)
+    : Module(name),
+      in_(add_in("in", AckMode::Managed, 1)),
+      out_(add_out("out", 0)),
+      capacity_(static_cast<std::size_t>(params.get_int("capacity", 16))) {
+  const std::string issue = params.get_string("issue", "fifo");
+  if (issue != "fifo" && issue != "any") {
+    throw liberty::ElaborationError("pcl.buffer '" + name +
+                                    "': unknown issue policy '" + issue + "'");
+  }
+  fifo_ = issue == "fifo";
+  if (capacity_ == 0) {
+    throw liberty::ElaborationError("pcl.buffer '" + name +
+                                    "': capacity must be >= 1");
+  }
+}
+
+void Buffer::cycle_start(Cycle) {
+  stats().accumulator("occupancy").add(static_cast<double>(entries_.size()));
+
+  // Offer ready entries to output endpoints, oldest first.
+  issued_idx_.clear();
+  std::size_t ep = 0;
+  for (std::size_t i = 0; i < entries_.size() && ep < out_.width(); ++i) {
+    if (is_ready(entries_[i])) {
+      out_.send_at(ep, entries_[i]);
+      issued_idx_.push_back(i);
+      ++ep;
+    } else if (fifo_) {
+      stats().counter("issue_stalls").inc();
+      break;  // in-order: a stalled head blocks everything behind it
+    }
+  }
+  for (; ep < out_.width(); ++ep) out_.idle(ep);
+
+  // Accept as many inserts as there are free slots, in endpoint order.
+  std::size_t free_slots = capacity_ - entries_.size();
+  for (std::size_t i = 0; i < in_.width(); ++i) {
+    if (free_slots > 0) {
+      in_.ack(i);
+      --free_slots;
+    } else {
+      in_.nack(i);
+    }
+  }
+}
+
+void Buffer::end_of_cycle() {
+  // Remove issued entries that transferred (descending index so erase
+  // positions stay valid).
+  for (std::size_t k = issued_idx_.size(); k-- > 0;) {
+    if (out_.transferred(k)) {
+      entries_.erase(entries_.begin() +
+                     static_cast<std::ptrdiff_t>(issued_idx_[k]));
+      stats().counter("issued").inc();
+    }
+  }
+  for (std::size_t i = 0; i < in_.width(); ++i) {
+    if (in_.transferred(i)) {
+      entries_.push_back(in_.data(i));
+      stats().counter("inserted").inc();
+    }
+  }
+  if (entries_.size() > capacity_) {
+    throw liberty::SimulationError("pcl.buffer '" + name() +
+                                   "': capacity overflow (internal)");
+  }
+}
+
+void Buffer::declare_deps(Deps& deps) const {
+  deps.state_only(out_);
+  deps.state_only(in_);
+}
+
+}  // namespace liberty::pcl

@@ -1,0 +1,47 @@
+// Arbiter: grants one of N competing inputs access to a shared output.
+//
+// The paper's poster-child primitive: "the same arbiter module can be used
+// in CCL to control access to network buffers and links, and in UPL to
+// regulate access to synchronization locks" (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "liberty/core/module.hpp"
+#include "liberty/core/params.hpp"
+
+namespace liberty::pcl {
+
+/// N-input, 1-output arbiter.  Combinational: the winner's value appears on
+/// the output in the same cycle; the winner is acked iff the output is.
+///
+/// Parameters:
+///   policy   "round_robin" | "priority" (lowest index wins) | "lru"
+///            (least-recently-granted wins)                    [round_robin]
+///
+/// Stats: grants, grants_in<i>, conflicts (cycles with >1 requester).
+class Arbiter : public liberty::core::Module {
+ public:
+  Arbiter(const std::string& name, const liberty::core::Params& params);
+
+  void cycle_start(liberty::core::Cycle c) override;
+  void react() override;
+  void end_of_cycle() override;
+  void init() override;
+  void declare_deps(liberty::core::Deps& deps) const override;
+
+ private:
+  [[nodiscard]] int select(const std::vector<std::size_t>& requesters) const;
+
+  liberty::core::Port& in_;
+  liberty::core::Port& out_;
+  std::string policy_;
+  std::size_t rr_next_ = 0;
+  std::vector<std::uint64_t> last_grant_;  // for lru
+  int winner_ = -2;                        // -2 undecided, -1 none
+  bool losers_nacked_ = false;
+};
+
+}  // namespace liberty::pcl

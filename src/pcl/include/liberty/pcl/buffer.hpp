@@ -1,0 +1,75 @@
+// Buffer: the generalized buffering/scheduling structure.
+//
+// This is the paper's flagship reuse example: "a single module template can
+// be instantiated to model a processor's instruction window, its reorder
+// buffer, and the I/O buffers in a packet router" (§2.1).  The three roles
+// differ only in issue discipline and readiness predicate, which are
+// algorithmic parameters here:
+//
+//   router I/O buffer:   issue="fifo", ready = always            (plain FIFO)
+//   reorder buffer:      issue="fifo", ready = completion check  (gated FIFO)
+//   instruction window:  issue="any",  ready = operand check     (OOO issue)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "liberty/core/module.hpp"
+#include "liberty/core/params.hpp"
+
+namespace liberty::pcl {
+
+/// Capacity-limited buffer with configurable issue discipline.
+///
+/// Ports: `in` (width up to insert_width), `out` (width up to issue_width).
+///
+/// Parameters:
+///   capacity      entries                                         [16]
+///   issue         "fifo" (in order; head must be ready) or "any"
+///                 (oldest-first scan over ready entries)          [fifo]
+///
+/// Algorithmic parameters (C++ hooks):
+///   set_ready_fn(fn)  entry eligibility predicate                 [always]
+///
+/// Stats: inserted, issued, occupancy, issue_stalls.
+class Buffer : public liberty::core::Module {
+ public:
+  using ReadyFn = std::function<bool(const liberty::Value&)>;
+
+  Buffer(const std::string& name, const liberty::core::Params& params);
+
+  void cycle_start(liberty::core::Cycle c) override;
+  void end_of_cycle() override;
+  void declare_deps(liberty::core::Deps& deps) const override;
+
+  void set_ready_fn(ReadyFn fn) { ready_ = std::move(fn); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Mutable scan of buffered values, oldest first — lets controller
+  /// modules (e.g. a writeback stage marking instructions complete) update
+  /// entry state in place, the way hardware writes result tags into a
+  /// window.  Intended for use from end_of_cycle() hooks.
+  void for_each_entry(const std::function<void(liberty::Value&)>& fn) {
+    for (auto& v : entries_) fn(v);
+  }
+
+ private:
+  [[nodiscard]] bool is_ready(const liberty::Value& v) const {
+    return !ready_ || ready_(v);
+  }
+
+  liberty::core::Port& in_;
+  liberty::core::Port& out_;
+  std::size_t capacity_;
+  bool fifo_;
+  ReadyFn ready_;
+  std::deque<liberty::Value> entries_;
+  std::vector<std::size_t> issued_idx_;  // entry index offered per out ep
+};
+
+}  // namespace liberty::pcl

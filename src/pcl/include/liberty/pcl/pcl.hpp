@@ -1,0 +1,25 @@
+// Primitive Component Library (PCL) — umbrella header and registration.
+//
+// "This consists of primitive building blocks that are likely to be used
+// across a wide range of applications.  Examples include arbiters and
+// memory arrays." (§3.1)
+#pragma once
+
+#include "liberty/core/registry.hpp"
+#include "liberty/pcl/arbiter.hpp"
+#include "liberty/pcl/buffer.hpp"
+#include "liberty/pcl/delay.hpp"
+#include "liberty/pcl/memory_array.hpp"
+#include "liberty/pcl/misc.hpp"
+#include "liberty/pcl/payloads.hpp"
+#include "liberty/pcl/queue.hpp"
+#include "liberty/pcl/routing.hpp"
+#include "liberty/pcl/sink.hpp"
+#include "liberty/pcl/source.hpp"
+
+namespace liberty::pcl {
+
+/// Register every PCL template ("pcl.*") with `registry`.
+void register_pcl(liberty::core::ModuleRegistry& registry);
+
+}  // namespace liberty::pcl

@@ -1,0 +1,78 @@
+#include "liberty/pcl/memory_array.hpp"
+
+#include "liberty/pcl/payloads.hpp"
+#include "liberty/support/error.hpp"
+
+namespace liberty::pcl {
+
+using liberty::core::AckMode;
+using liberty::core::Cycle;
+using liberty::core::Deps;
+using liberty::core::Params;
+
+MemoryArray::MemoryArray(const std::string& name, const Params& params)
+    : Module(name),
+      req_(add_in("req", AckMode::Managed, 0)),
+      resp_(add_out("resp", 0)),
+      latency_(static_cast<std::uint64_t>(params.get_int("latency", 1))),
+      mshrs_(static_cast<std::size_t>(params.get_int("mshrs", 4))),
+      ports_(static_cast<std::size_t>(params.get_int("ports", 1))) {
+  if (latency_ == 0) {
+    throw liberty::ElaborationError("pcl.memory_array '" + name +
+                                    "': latency must be >= 1");
+  }
+}
+
+void MemoryArray::cycle_start(Cycle c) {
+  const bool head_ready = !pending_.empty() && pending_.front().ready <= c;
+  for (std::size_t i = 0; i < resp_.width(); ++i) {
+    if (head_ready && i == pending_.front().src_ep) {
+      resp_.send_at(i, pending_.front().resp);
+    } else {
+      resp_.idle(i);
+    }
+  }
+
+  std::size_t budget =
+      pending_.size() < mshrs_ ? std::min(ports_, mshrs_ - pending_.size())
+                               : 0;
+  for (std::size_t i = 0; i < req_.width(); ++i) {
+    if (budget > 0) {
+      req_.ack(i);
+      --budget;
+    } else {
+      req_.nack(i);
+      stats().counter("busy_stalls").inc();
+    }
+  }
+}
+
+void MemoryArray::end_of_cycle() {
+  if (!pending_.empty() && pending_.front().src_ep < resp_.width() &&
+      resp_.transferred(pending_.front().src_ep)) {
+    pending_.pop_front();
+  }
+  for (std::size_t i = 0; i < req_.width(); ++i) {
+    if (!req_.transferred(i)) continue;
+    const auto r = req_.data(i).as<MemReq>();
+    std::int64_t out_data = 0;
+    if (r->op == MemReq::Op::Read) {
+      out_data = peek(r->addr);
+      stats().counter("reads").inc();
+    } else {
+      store_[r->addr] = r->data;
+      stats().counter("writes").inc();
+    }
+    pending_.push_back(Pending{
+        liberty::Value::make<MemResp>(r->tag, out_data,
+                                      r->op == MemReq::Op::Write),
+        now() + latency_, i});
+  }
+}
+
+void MemoryArray::declare_deps(Deps& deps) const {
+  deps.state_only(resp_);
+  deps.state_only(req_);
+}
+
+}  // namespace liberty::pcl

@@ -1,0 +1,88 @@
+#include "liberty/pcl/misc.hpp"
+
+namespace liberty::pcl {
+
+using liberty::core::AckMode;
+using liberty::core::bwd;
+using liberty::core::Deps;
+using liberty::core::fwd;
+using liberty::core::Params;
+
+// ---------------------------------------------------------------------------
+// Probe
+// ---------------------------------------------------------------------------
+
+Probe::Probe(const std::string& name, const Params& params)
+    : Module(name),
+      in_(add_in("in", AckMode::Managed, 1, 1)),
+      out_(add_out("out", 0, 1)) {
+  (void)params;
+}
+
+void Probe::react() {
+  if (in_.forward_known()) {
+    if (in_.has_data()) {
+      out_.send(in_.data());
+    } else {
+      out_.idle();
+    }
+  }
+  if (!in_.ack_driven() && out_.ack_known()) {
+    if (out_.acked()) {
+      in_.ack();
+    } else {
+      in_.nack();
+    }
+  }
+}
+
+void Probe::end_of_cycle() {
+  if (in_.transferred()) {
+    ++count_;
+    stats().counter("items").inc();
+    if (obs_) obs_(in_.data(), now());
+  }
+}
+
+void Probe::declare_deps(Deps& deps) const {
+  deps.depends(out_, {fwd(in_)});
+  deps.depends(in_, {bwd(out_)});
+}
+
+// ---------------------------------------------------------------------------
+// FuncMap
+// ---------------------------------------------------------------------------
+
+FuncMap::FuncMap(const std::string& name, const Params& params)
+    : Module(name),
+      in_(add_in("in", AckMode::Managed, 1, 1)),
+      out_(add_out("out", 0, 1)) {
+  (void)params;
+}
+
+void FuncMap::react() {
+  // Guard against re-driving: fn_ may build a fresh payload each call, and
+  // a second, non-identical drive would (correctly) trip the kernel's
+  // monotonicity check.
+  if (in_.forward_known() && !out_.forward_known()) {
+    if (in_.has_data()) {
+      out_.send(fn_ ? fn_(in_.data()) : in_.data());
+    } else {
+      out_.idle();
+    }
+  }
+  if (!in_.ack_driven() && out_.ack_known()) {
+    if (out_.acked()) {
+      in_.ack();
+    } else {
+      in_.nack();
+    }
+  }
+}
+
+void FuncMap::declare_deps(Deps& deps) const {
+  deps.depends(out_, {fwd(in_)});
+  deps.depends(in_, {bwd(out_)});
+}
+
+}  // namespace liberty::pcl

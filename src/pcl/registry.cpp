@@ -1,0 +1,38 @@
+#include "liberty/pcl/pcl.hpp"
+
+namespace liberty::pcl {
+
+using liberty::core::ModuleRegistry;
+using liberty::core::simple_factory;
+
+void register_pcl(ModuleRegistry& r) {
+  r.register_template("pcl.source", "configurable value producer",
+                      simple_factory<Source>());
+  r.register_template("pcl.sink", "value consumer with latency stats",
+                      simple_factory<Sink>());
+  r.register_template("pcl.queue", "FIFO with handshake flow control",
+                      simple_factory<Queue>());
+  r.register_template("pcl.delay", "fixed-latency pipeline element",
+                      simple_factory<Delay>());
+  r.register_template("pcl.arbiter", "N-to-1 arbiter (RR/priority/LRU)",
+                      simple_factory<Arbiter>());
+  r.register_template("pcl.tee", "synchronous fan-out",
+                      simple_factory<Tee>());
+  r.register_template("pcl.mux", "control-selected N-to-1 multiplexer",
+                      simple_factory<Mux>());
+  r.register_template("pcl.demux", "content-routed 1-to-N demultiplexer",
+                      simple_factory<Demux>());
+  r.register_template("pcl.crossbar", "N x M crossbar with RR arbitration",
+                      simple_factory<Crossbar>());
+  r.register_template("pcl.buffer",
+                      "generalized buffer (window/ROB/router buffer)",
+                      simple_factory<Buffer>());
+  r.register_template("pcl.memory_array", "request/response storage",
+                      simple_factory<MemoryArray>());
+  r.register_template("pcl.probe", "pass-through instrumentation",
+                      simple_factory<Probe>());
+  r.register_template("pcl.funcmap", "combinational value transform",
+                      simple_factory<FuncMap>());
+}
+
+}  // namespace liberty::pcl

@@ -1,0 +1,53 @@
+// Exception hierarchy for the Liberty Simulation Environment reproduction.
+//
+// Errors are partitioned by the phase that raises them so that callers (and
+// tests) can distinguish a malformed specification from a bug observed while
+// the constructed simulator is running.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace liberty {
+
+/// Base class of all errors thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised while lexing/parsing a Liberty Simulator Specification (LSS).
+class SpecError : public Error {
+ public:
+  SpecError(std::string file, int line, int col, const std::string& msg)
+      : Error(file + ":" + std::to_string(line) + ":" + std::to_string(col) +
+              ": " + msg),
+        file_(std::move(file)),
+        line_(line),
+        col_(col) {}
+
+  [[nodiscard]] const std::string& file() const noexcept { return file_; }
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return col_; }
+
+ private:
+  std::string file_;
+  int line_ = 0;
+  int col_ = 0;
+};
+
+/// Raised while elaborating a specification into a netlist (unknown module
+/// template, bad parameter, port arity mismatch, ...).
+class ElaborationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised by the running simulator (non-monotone signal drive, value type
+/// mismatch inside a module, ...).
+class SimulationError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace liberty

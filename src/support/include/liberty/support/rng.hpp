@@ -1,0 +1,84 @@
+// Deterministic pseudo-random number generation for statistical components.
+//
+// Simulation results must be bit-reproducible across runs and across
+// schedulers, so every stochastic component (traffic generators, random
+// replacement caches, lossy wireless channels, ...) owns its own Rng seeded
+// from the specification.  The generator is xoshiro256**, which is fast,
+// well distributed, and trivially embeddable without pulling in <random>'s
+// unspecified-across-platforms distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace liberty {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a single seed via splitmix64.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Debiased multiply-shift (Lemire).
+    const std::uint64_t x = next();
+    const unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Geometric inter-arrival sample for a Bernoulli-per-cycle process with
+  /// rate `p`; returns the number of cycles until the next arrival (>= 1).
+  std::uint64_t geometric(double p) noexcept {
+    if (p >= 1.0) return 1;
+    if (p <= 0.0) return ~0ULL;
+    std::uint64_t n = 1;
+    while (!chance(p)) ++n;
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace liberty

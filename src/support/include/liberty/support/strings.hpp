@@ -1,0 +1,24 @@
+// Small string helpers used by the LSS front end and reporting code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace liberty {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Join items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+/// True when `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+[[nodiscard]] bool is_identifier(std::string_view s);
+
+}  // namespace liberty

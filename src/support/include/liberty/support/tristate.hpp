@@ -1,0 +1,49 @@
+// Three-valued signal logic used by the Liberty reactive model of
+// computation.  Within a clock cycle every control signal starts Unknown and
+// resolves monotonically to Asserted or Negated exactly once; it never
+// changes again until the next cycle.  This monotonicity is what guarantees
+// that the per-cycle reactive evaluation reaches a unique fixed point.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace liberty {
+
+enum class Tristate : std::uint8_t {
+  Unknown = 0,
+  Negated = 1,
+  Asserted = 2,
+};
+
+[[nodiscard]] constexpr bool known(Tristate t) noexcept {
+  return t != Tristate::Unknown;
+}
+
+[[nodiscard]] constexpr bool asserted(Tristate t) noexcept {
+  return t == Tristate::Asserted;
+}
+
+[[nodiscard]] constexpr bool negated(Tristate t) noexcept {
+  return t == Tristate::Negated;
+}
+
+[[nodiscard]] constexpr Tristate to_tristate(bool b) noexcept {
+  return b ? Tristate::Asserted : Tristate::Negated;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Tristate t) noexcept {
+  switch (t) {
+    case Tristate::Unknown: return "unknown";
+    case Tristate::Negated: return "negated";
+    case Tristate::Asserted: return "asserted";
+  }
+  return "invalid";
+}
+
+inline std::ostream& operator<<(std::ostream& os, Tristate t) {
+  return os << to_string(t);
+}
+
+}  // namespace liberty

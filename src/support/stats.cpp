@@ -1,0 +1,21 @@
+#include "liberty/support/stats.hpp"
+
+namespace liberty {
+
+void StatSet::dump(std::ostream& os, const std::string& prefix) const {
+  for (const auto& [name, c] : counters_) {
+    os << prefix << '.' << name << " = " << c.value() << '\n';
+  }
+  for (const auto& [name, a] : accs_) {
+    os << prefix << '.' << name << " : n=" << a.count() << " mean=" << a.mean()
+       << " min=" << a.min() << " max=" << a.max() << '\n';
+  }
+  for (const auto& [name, h] : hists_) {
+    const auto& s = h.summary();
+    os << prefix << '.' << name << " : n=" << s.count() << " mean=" << s.mean()
+       << " p50=" << h.quantile(0.5) << " p95=" << h.quantile(0.95)
+       << " max=" << s.max() << '\n';
+  }
+}
+
+}  // namespace liberty

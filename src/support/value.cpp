@@ -1,0 +1,29 @@
+#include "liberty/support/value.hpp"
+
+#include <sstream>
+
+namespace liberty {
+
+std::string Value::to_string() const {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "<token>"; }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(double d) const {
+      std::ostringstream os;
+      os << d;
+      return os.str();
+    }
+    std::string operator()(const std::string& s) const { return '"' + s + '"'; }
+    std::string operator()(const std::shared_ptr<const Payload>& p) const {
+      return p ? p->describe() : "<null payload>";
+    }
+  };
+  return std::visit(Visitor{}, v_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.to_string();
+}
+
+}  // namespace liberty

@@ -1,0 +1,153 @@
+// LRISC: the small load/store ISA used by every processor model in UPL.
+//
+// The paper's Figure 1 shows "Instruction Set Emulation" as a separate input
+// woven into the constructed simulator.  LRISC plays that role here: this
+// header defines the architecture (instructions, architectural state), an
+// assembler for writing workloads, and a functional emulator that serves
+// both as the semantic oracle for the microarchitectural models (they must
+// retire the same state) and as the fastest abstraction level of a
+// "processor" in mixed-abstraction systems.
+//
+// Architecture summary:
+//   * 32 general registers r0..r31; r0 is hardwired to zero.
+//   * 64-bit integer registers; word-addressed data memory (one 64-bit
+//     value per address).
+//   * Harvard organization: instructions live in a separate instruction
+//     memory, indexed by PC (one instruction per PC step).
+//   * OUT writes a register to an output log (the observable effect used by
+//     tests); HALT stops the machine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "liberty/support/error.hpp"
+
+namespace liberty::upl {
+
+enum class Op : std::uint8_t {
+  // Register-register ALU.
+  Add, Sub, Mul, Div, Rem, And, Or, Xor, Sll, Srl, Sra, Slt,
+  // Register-immediate ALU.
+  Addi, Andi, Ori, Xori, Slli, Srli, Slti,
+  // Memory.
+  Lw, Sw,
+  // Control.
+  Beq, Bne, Blt, Bge, Jal, Jalr,
+  // System.
+  Out, Halt, Nop,
+};
+
+[[nodiscard]] const char* op_name(Op op);
+[[nodiscard]] bool is_branch(Op op);
+[[nodiscard]] bool is_mem(Op op);
+[[nodiscard]] bool is_alu(Op op);
+
+struct Instr {
+  Op op = Op::Nop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int64_t imm = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// An assembled program: instruction memory plus initial data memory.
+struct Program {
+  std::vector<Instr> code;
+  std::unordered_map<std::uint64_t, std::int64_t> data;
+  std::unordered_map<std::string, std::uint64_t> labels;
+};
+
+/// Assemble LRISC assembly text.
+///
+/// Syntax: one instruction per line; `;` or `#` start comments;
+/// `label:` defines a code label; branch/jump targets may be labels or
+/// absolute integers.  Memory operands are written `imm(rs)`.
+/// Directives: `.word addr, value` initializes data memory.
+/// Pseudo-instructions: li rd, imm / mv rd, rs / j target / nop.
+///
+/// Throws SpecError (with line numbers) on malformed input.
+[[nodiscard]] Program assemble(const std::string& source,
+                               const std::string& filename = "<asm>");
+
+/// Architectural state + functional execution (the golden emulator).
+class ArchState {
+ public:
+  /// The program is copied: an ArchState owns everything it needs, so it is
+  /// safe to construct from a temporary (e.g. ArchState(assemble(src))).
+  explicit ArchState(Program prog) : prog_(std::move(prog)) {
+    mem_ = prog_.data;
+  }
+
+  [[nodiscard]] std::int64_t reg(std::size_t i) const { return regs_[i]; }
+  void set_reg(std::size_t i, std::int64_t v) {
+    if (i != 0) regs_[i] = v;
+  }
+  [[nodiscard]] std::uint64_t pc() const noexcept { return pc_; }
+  void set_pc(std::uint64_t pc) noexcept { pc_ = pc; }
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+
+  [[nodiscard]] std::int64_t load(std::uint64_t addr) const {
+    const auto it = mem_.find(addr);
+    return it == mem_.end() ? 0 : it->second;
+  }
+  void store(std::uint64_t addr, std::int64_t v) { mem_[addr] = v; }
+
+  [[nodiscard]] const std::vector<std::int64_t>& output() const noexcept {
+    return out_;
+  }
+  [[nodiscard]] std::uint64_t instructions_retired() const noexcept {
+    return retired_;
+  }
+
+  /// Fetch the instruction at `pc`, or Halt when past the end.
+  [[nodiscard]] const Instr& fetch(std::uint64_t pc) const {
+    static const Instr halt{Op::Halt, 0, 0, 0, 0};
+    return pc < prog_.code.size() ? prog_.code[pc] : halt;
+  }
+
+  /// Execute one instruction; returns false once halted.
+  bool step();
+
+  /// Run until HALT or `max_steps`; returns instructions executed.
+  std::uint64_t run(std::uint64_t max_steps = 1'000'000);
+
+  /// Pure next-PC/effect computation shared with the timing models: applies
+  /// `instr` to this state (used by execute stages so that timing and
+  /// function cannot diverge).
+  void apply(const Instr& instr);
+
+ private:
+  Program prog_;
+  std::vector<std::int64_t> regs_ = std::vector<std::int64_t>(32, 0);
+  std::unordered_map<std::uint64_t, std::int64_t> mem_;
+  std::vector<std::int64_t> out_;
+  std::uint64_t pc_ = 0;
+  std::uint64_t retired_ = 0;
+  bool halted_ = false;
+};
+
+/// Result of executing an instruction against a register file snapshot —
+/// used by the pipelined models to compute results/branch outcomes in their
+/// execute stages without committing them.
+struct ExecResult {
+  std::int64_t value = 0;       // ALU result / link address / store data
+  std::uint64_t mem_addr = 0;   // for Lw/Sw
+  bool taken = false;           // branch outcome
+  std::uint64_t target = 0;     // branch/jump target
+  bool writes_reg = false;
+  bool halts = false;
+  std::optional<std::int64_t> out;  // OUT payload
+};
+
+/// Evaluate `instr` given operand values (rs1, rs2) and its own PC.
+[[nodiscard]] ExecResult evaluate(const Instr& instr, std::int64_t rs1,
+                                  std::int64_t rs2, std::uint64_t pc);
+
+}  // namespace liberty::upl

@@ -1,0 +1,53 @@
+// MemoryCtl: line-protocol memory controller (backing store below caches).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "liberty/core/module.hpp"
+#include "liberty/core/params.hpp"
+
+namespace liberty::upl {
+
+/// Accepts upl::LineReq on `req`; Fetch/FetchExclusive produce a
+/// upl::LineResp on `resp` after `latency` cycles; Writeback updates the
+/// store silently.
+///
+/// Parameters:
+///   latency      access latency (>= 1)                        [20]
+///   line_words   words per line (must match the caches)       [4]
+///   bandwidth    requests accepted per cycle                  [1]
+///
+/// Stats: fetches, writebacks.
+class MemoryCtl : public liberty::core::Module {
+ public:
+  MemoryCtl(const std::string& name, const liberty::core::Params& params);
+
+  void cycle_start(liberty::core::Cycle c) override;
+  void end_of_cycle() override;
+  void declare_deps(liberty::core::Deps& deps) const override;
+
+  void poke(std::uint64_t addr, std::int64_t v) { store_[addr] = v; }
+  [[nodiscard]] std::int64_t peek(std::uint64_t addr) const {
+    const auto it = store_.find(addr);
+    return it == store_.end() ? 0 : it->second;
+  }
+
+ private:
+  struct Pending {
+    liberty::Value resp;
+    liberty::core::Cycle ready;
+  };
+
+  liberty::core::Port& req_;
+  liberty::core::Port& resp_;
+  std::uint64_t latency_;
+  std::size_t line_words_;
+  std::size_t bandwidth_;
+  std::unordered_map<std::uint64_t, std::int64_t> store_;
+  std::deque<Pending> pending_;
+};
+
+}  // namespace liberty::upl

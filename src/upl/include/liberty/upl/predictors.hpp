@@ -1,0 +1,162 @@
+// Branch prediction units (§3.2 lists them among UPL's elements).
+//
+// Predictors are plain component classes embedded in fetch-stage modules —
+// they are *algorithmic parameters* of the fetch template: the same fetch
+// module is customized with any of these without code changes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "liberty/support/error.hpp"
+
+namespace liberty::upl {
+
+/// Direction predictor interface.  `predict` must not mutate state;
+/// `update` trains with the resolved outcome.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  [[nodiscard]] virtual bool predict(std::uint64_t pc) const = 0;
+  virtual void update(std::uint64_t pc, bool taken) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Always predicts the fixed direction.
+class StaticPredictor final : public Predictor {
+ public:
+  explicit StaticPredictor(bool taken) : taken_(taken) {}
+  [[nodiscard]] bool predict(std::uint64_t) const override { return taken_; }
+  void update(std::uint64_t, bool) override {}
+  [[nodiscard]] std::string name() const override {
+    return taken_ ? "static-taken" : "static-not-taken";
+  }
+
+ private:
+  bool taken_;
+};
+
+/// Classic 2-bit saturating counter table indexed by PC.
+class BimodalPredictor final : public Predictor {
+ public:
+  explicit BimodalPredictor(std::size_t entries = 1024)
+      : table_(entries, 1) {}  // weakly not-taken
+  [[nodiscard]] bool predict(std::uint64_t pc) const override {
+    return table_[pc % table_.size()] >= 2;
+  }
+  void update(std::uint64_t pc, bool taken) override {
+    std::uint8_t& c = table_[pc % table_.size()];
+    if (taken && c < 3) ++c;
+    if (!taken && c > 0) --c;
+  }
+  [[nodiscard]] std::string name() const override { return "bimodal"; }
+
+ private:
+  std::vector<std::uint8_t> table_;
+};
+
+/// GShare: global history XOR PC indexes a 2-bit counter table.
+class GSharePredictor final : public Predictor {
+ public:
+  explicit GSharePredictor(std::size_t entries = 4096)
+      : table_(entries, 1) {}
+  [[nodiscard]] bool predict(std::uint64_t pc) const override {
+    return table_[index(pc)] >= 2;
+  }
+  void update(std::uint64_t pc, bool taken) override {
+    std::uint8_t& c = table_[index(pc)];
+    if (taken && c < 3) ++c;
+    if (!taken && c > 0) --c;
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+  }
+  [[nodiscard]] std::string name() const override { return "gshare"; }
+
+ private:
+  [[nodiscard]] std::size_t index(std::uint64_t pc) const {
+    return static_cast<std::size_t>((pc ^ history_) % table_.size());
+  }
+  std::vector<std::uint8_t> table_;
+  std::uint64_t history_ = 0;
+};
+
+/// Tournament: a 2-bit chooser selects between bimodal and gshare.
+class TournamentPredictor final : public Predictor {
+ public:
+  explicit TournamentPredictor(std::size_t entries = 1024)
+      : bimodal_(entries), gshare_(entries * 4), chooser_(entries, 1) {}
+  [[nodiscard]] bool predict(std::uint64_t pc) const override {
+    return chooser_[pc % chooser_.size()] >= 2 ? gshare_.predict(pc)
+                                               : bimodal_.predict(pc);
+  }
+  void update(std::uint64_t pc, bool taken) override {
+    const bool pb = bimodal_.predict(pc);
+    const bool pg = gshare_.predict(pc);
+    std::uint8_t& ch = chooser_[pc % chooser_.size()];
+    if (pb != pg) {
+      // Move the chooser toward whichever component was right.
+      if (pg == taken && ch < 3) ++ch;
+      if (pb == taken && ch > 0) --ch;
+    }
+    bimodal_.update(pc, taken);
+    gshare_.update(pc, taken);
+  }
+  [[nodiscard]] std::string name() const override { return "tournament"; }
+
+ private:
+  BimodalPredictor bimodal_;
+  GSharePredictor gshare_;
+  std::vector<std::uint8_t> chooser_;
+};
+
+/// Branch target buffer: PC -> last-seen target.
+class Btb {
+ public:
+  explicit Btb(std::size_t entries = 512)
+      : tags_(entries, kInvalid), targets_(entries, 0) {}
+
+  [[nodiscard]] bool lookup(std::uint64_t pc, std::uint64_t& target) const {
+    const std::size_t i = pc % tags_.size();
+    if (tags_[i] != pc) return false;
+    target = targets_[i];
+    return true;
+  }
+  void insert(std::uint64_t pc, std::uint64_t target) {
+    const std::size_t i = pc % tags_.size();
+    tags_[i] = pc;
+    targets_[i] = target;
+  }
+
+ private:
+  static constexpr std::uint64_t kInvalid = ~0ULL;
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> targets_;
+};
+
+/// Return address stack (used for jalr returns).
+class Ras {
+ public:
+  explicit Ras(std::size_t depth = 16) : depth_(depth) {}
+  void push(std::uint64_t addr) {
+    if (stack_.size() == depth_) stack_.erase(stack_.begin());
+    stack_.push_back(addr);
+  }
+  [[nodiscard]] bool pop(std::uint64_t& addr) {
+    if (stack_.empty()) return false;
+    addr = stack_.back();
+    stack_.pop_back();
+    return true;
+  }
+
+ private:
+  std::size_t depth_;
+  std::vector<std::uint64_t> stack_;
+};
+
+/// Factory used by module parameters: "taken", "not_taken", "bimodal",
+/// "gshare", "tournament".
+[[nodiscard]] std::unique_ptr<Predictor> make_predictor(
+    const std::string& kind, std::size_t entries = 1024);
+
+}  // namespace liberty::upl

@@ -1,0 +1,23 @@
+// Uniprocessor Library (UPL) — umbrella header and registration.
+//
+// "This consists of the micro-architectural elements of general purpose and
+// application specific processors." (§3)
+#pragma once
+
+#include "liberty/core/registry.hpp"
+#include "liberty/upl/cache.hpp"
+#include "liberty/upl/isa.hpp"
+#include "liberty/upl/mem_protocol.hpp"
+#include "liberty/upl/memctl.hpp"
+#include "liberty/upl/ooo_core.hpp"
+#include "liberty/upl/pipeline.hpp"
+#include "liberty/upl/predictors.hpp"
+#include "liberty/upl/simple_cpu.hpp"
+#include "liberty/upl/workloads.hpp"
+
+namespace liberty::upl {
+
+/// Register every UPL template ("upl.*") with `registry`.
+void register_upl(liberty::core::ModuleRegistry& registry);
+
+}  // namespace liberty::upl

@@ -1,0 +1,44 @@
+// Workload library: LRISC assembly kernels used by tests, examples, and
+// benchmarks (the synthetic stand-ins for the paper-era benchmark suites —
+// see DESIGN.md, "Substitutions").
+//
+// Every workload ends by OUT-ing a checksum and HALTing, so correctness is
+// checked the same way on the emulator and on every timing model.
+#pragma once
+
+#include <string>
+
+namespace liberty::upl::workloads {
+
+/// Sum of 1..n (loop, branch-heavy, no memory).  OUTs the sum.
+[[nodiscard]] std::string sum_loop(int n);
+
+/// Iterative Fibonacci; OUTs fib(n).
+[[nodiscard]] std::string fibonacci(int n);
+
+/// Store then sum an array of `n` elements (streaming memory).
+/// OUTs the sum of 0..n-1.
+[[nodiscard]] std::string array_sum(int n);
+
+/// Pointer chase: build a linked ring of `n` nodes with stride `stride`
+/// (cache-hostile when stride exceeds the line size), walk it `steps`
+/// times.  OUTs the final node address.
+[[nodiscard]] std::string pointer_chase(int n, int stride, int steps);
+
+/// Dense matrix multiply C = A x B for size x size matrices (initialized
+/// in-program).  OUTs C[0][0] and C[size-1][size-1].
+[[nodiscard]] std::string matmul(int size);
+
+/// Sieve of Eratosthenes up to n; OUTs the prime count (data-dependent
+/// branches: a predictor stress test).
+[[nodiscard]] std::string sieve(int n);
+
+/// Producer loop writing `n` words to a shared buffer at `base`, then a
+/// flag word — one half of the MPL shared-memory handshake tests.
+[[nodiscard]] std::string producer(int n, int base);
+
+/// Consumer loop spinning on the flag, then summing the buffer.  OUTs the
+/// sum.
+[[nodiscard]] std::string consumer(int n, int base);
+
+}  // namespace liberty::upl::workloads

@@ -1,0 +1,432 @@
+#include "liberty/upl/isa.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "liberty/support/strings.hpp"
+
+namespace liberty::upl {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::Div: return "div";
+    case Op::Rem: return "rem";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Xor: return "xor";
+    case Op::Sll: return "sll";
+    case Op::Srl: return "srl";
+    case Op::Sra: return "sra";
+    case Op::Slt: return "slt";
+    case Op::Addi: return "addi";
+    case Op::Andi: return "andi";
+    case Op::Ori: return "ori";
+    case Op::Xori: return "xori";
+    case Op::Slli: return "slli";
+    case Op::Srli: return "srli";
+    case Op::Slti: return "slti";
+    case Op::Lw: return "lw";
+    case Op::Sw: return "sw";
+    case Op::Beq: return "beq";
+    case Op::Bne: return "bne";
+    case Op::Blt: return "blt";
+    case Op::Bge: return "bge";
+    case Op::Jal: return "jal";
+    case Op::Jalr: return "jalr";
+    case Op::Out: return "out";
+    case Op::Halt: return "halt";
+    case Op::Nop: return "nop";
+  }
+  return "?";
+}
+
+bool is_branch(Op op) {
+  switch (op) {
+    case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+    case Op::Jal: case Op::Jalr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_mem(Op op) { return op == Op::Lw || op == Op::Sw; }
+
+bool is_alu(Op op) { return !is_branch(op) && !is_mem(op) && op != Op::Halt &&
+                            op != Op::Out && op != Op::Nop; }
+
+std::string Instr::to_string() const {
+  std::ostringstream os;
+  os << op_name(op) << " rd=r" << int(rd) << " rs1=r" << int(rs1) << " rs2=r"
+     << int(rs2) << " imm=" << imm;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct PendingFixup {
+  std::size_t instr_index;
+  std::string label;
+  int line;
+};
+
+[[noreturn]] void asm_fail(const std::string& file, int line,
+                           const std::string& msg) {
+  throw liberty::SpecError(file, line, 0, msg);
+}
+
+std::uint8_t parse_reg(const std::string& file, int line,
+                       std::string_view tok) {
+  tok = liberty::trim(tok);
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R')) {
+    asm_fail(file, line, "expected register, got '" + std::string(tok) + "'");
+  }
+  int n = 0;
+  for (char c : tok.substr(1)) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      asm_fail(file, line, "bad register '" + std::string(tok) + "'");
+    }
+    n = n * 10 + (c - '0');
+  }
+  if (n > 31) asm_fail(file, line, "register out of range: " + std::string(tok));
+  return static_cast<std::uint8_t>(n);
+}
+
+bool parse_int(std::string_view tok, std::int64_t& out) {
+  tok = liberty::trim(tok);
+  if (tok.empty()) return false;
+  std::size_t i = 0;
+  bool neg = false;
+  if (tok[0] == '-' || tok[0] == '+') {
+    neg = tok[0] == '-';
+    i = 1;
+  }
+  if (i >= tok.size()) return false;
+  std::int64_t v = 0;
+  // Hex support: 0x...
+  if (tok.size() > i + 2 && tok[i] == '0' &&
+      (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+    for (std::size_t k = i + 2; k < tok.size(); ++k) {
+      const char c = tok[k];
+      int d;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+      else return false;
+      v = v * 16 + d;
+    }
+  } else {
+    for (std::size_t k = i; k < tok.size(); ++k) {
+      if (!std::isdigit(static_cast<unsigned char>(tok[k]))) return false;
+      v = v * 10 + (tok[k] - '0');
+    }
+  }
+  out = neg ? -v : v;
+  return true;
+}
+
+}  // namespace
+
+Program assemble(const std::string& source, const std::string& filename) {
+  Program prog;
+  std::vector<PendingFixup> fixups;
+
+  std::istringstream in(source);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip comments.
+    for (const char marker : {';', '#'}) {
+      const auto pos = raw.find(marker);
+      if (pos != std::string::npos) raw.erase(pos);
+    }
+    std::string_view line = liberty::trim(raw);
+    if (line.empty()) continue;
+
+    // Labels (possibly several on one line before an instruction).
+    while (true) {
+      const auto colon = line.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string_view head = liberty::trim(line.substr(0, colon));
+      if (!liberty::is_identifier(head)) {
+        asm_fail(filename, lineno, "bad label '" + std::string(head) + "'");
+      }
+      if (prog.labels.count(std::string(head)) != 0) {
+        asm_fail(filename, lineno, "duplicate label '" + std::string(head) +
+                                      "'");
+      }
+      prog.labels[std::string(head)] = prog.code.size();
+      line = liberty::trim(line.substr(colon + 1));
+      if (line.empty()) break;
+    }
+    if (line.empty()) continue;
+
+    // Mnemonic and operands.
+    const auto sp = line.find_first_of(" \t");
+    std::string mnem(line.substr(0, sp));
+    std::transform(mnem.begin(), mnem.end(), mnem.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    std::string_view rest =
+        sp == std::string_view::npos ? std::string_view{} : line.substr(sp);
+    std::vector<std::string> ops;
+    if (!liberty::trim(rest).empty()) {
+      for (auto& tok : liberty::split(rest, ',')) {
+        ops.push_back(std::string(liberty::trim(tok)));
+      }
+    }
+
+    auto need = [&](std::size_t n) {
+      if (ops.size() != n) {
+        asm_fail(filename, lineno, mnem + " expects " + std::to_string(n) +
+                                      " operand(s), got " +
+                                      std::to_string(ops.size()));
+      }
+    };
+    auto imm_or_label = [&](const std::string& tok, std::size_t idx) {
+      std::int64_t v;
+      if (parse_int(tok, v)) return v;
+      if (!liberty::is_identifier(tok)) {
+        asm_fail(filename, lineno, "bad immediate/label '" + tok + "'");
+      }
+      fixups.push_back(PendingFixup{idx, tok, lineno});
+      return std::int64_t{0};
+    };
+    // `imm(rs)` memory operand.
+    auto mem_operand = [&](const std::string& tok, std::int64_t& imm,
+                           std::uint8_t& base) {
+      const auto lp = tok.find('(');
+      const auto rp = tok.find(')');
+      if (lp == std::string::npos || rp == std::string::npos || rp < lp) {
+        asm_fail(filename, lineno, "expected imm(rs) operand, got '" + tok +
+                                      "'");
+      }
+      const std::string immtok = tok.substr(0, lp);
+      if (immtok.empty()) {
+        imm = 0;
+      } else if (!parse_int(immtok, imm)) {
+        asm_fail(filename, lineno, "bad displacement '" + immtok + "'");
+      }
+      base = parse_reg(filename, lineno, tok.substr(lp + 1, rp - lp - 1));
+    };
+
+    static const std::map<std::string, Op> rrr = {
+        {"add", Op::Add}, {"sub", Op::Sub}, {"mul", Op::Mul},
+        {"div", Op::Div}, {"rem", Op::Rem}, {"and", Op::And},
+        {"or", Op::Or},   {"xor", Op::Xor}, {"sll", Op::Sll},
+        {"srl", Op::Srl}, {"sra", Op::Sra}, {"slt", Op::Slt}};
+    static const std::map<std::string, Op> rri = {
+        {"addi", Op::Addi}, {"andi", Op::Andi}, {"ori", Op::Ori},
+        {"xori", Op::Xori}, {"slli", Op::Slli}, {"srli", Op::Srli},
+        {"slti", Op::Slti}};
+    static const std::map<std::string, Op> branches = {
+        {"beq", Op::Beq}, {"bne", Op::Bne}, {"blt", Op::Blt},
+        {"bge", Op::Bge}};
+
+    Instr ins;
+    if (const auto it = rrr.find(mnem); it != rrr.end()) {
+      need(3);
+      ins.op = it->second;
+      ins.rd = parse_reg(filename, lineno, ops[0]);
+      ins.rs1 = parse_reg(filename, lineno, ops[1]);
+      ins.rs2 = parse_reg(filename, lineno, ops[2]);
+    } else if (const auto it2 = rri.find(mnem); it2 != rri.end()) {
+      need(3);
+      ins.op = it2->second;
+      ins.rd = parse_reg(filename, lineno, ops[0]);
+      ins.rs1 = parse_reg(filename, lineno, ops[1]);
+      ins.imm = imm_or_label(ops[2], prog.code.size());
+    } else if (const auto it3 = branches.find(mnem); it3 != branches.end()) {
+      need(3);
+      ins.op = it3->second;
+      ins.rs1 = parse_reg(filename, lineno, ops[0]);
+      ins.rs2 = parse_reg(filename, lineno, ops[1]);
+      ins.imm = imm_or_label(ops[2], prog.code.size());
+    } else if (mnem == "lw") {
+      need(2);
+      ins.op = Op::Lw;
+      ins.rd = parse_reg(filename, lineno, ops[0]);
+      mem_operand(ops[1], ins.imm, ins.rs1);
+    } else if (mnem == "sw") {
+      need(2);
+      ins.op = Op::Sw;
+      ins.rs2 = parse_reg(filename, lineno, ops[0]);  // store data
+      mem_operand(ops[1], ins.imm, ins.rs1);
+    } else if (mnem == "jal") {
+      need(2);
+      ins.op = Op::Jal;
+      ins.rd = parse_reg(filename, lineno, ops[0]);
+      ins.imm = imm_or_label(ops[1], prog.code.size());
+    } else if (mnem == "jalr") {
+      need(2);
+      ins.op = Op::Jalr;
+      ins.rd = parse_reg(filename, lineno, ops[0]);
+      ins.rs1 = parse_reg(filename, lineno, ops[1]);
+    } else if (mnem == "j") {
+      need(1);
+      ins.op = Op::Jal;
+      ins.rd = 0;
+      ins.imm = imm_or_label(ops[0], prog.code.size());
+    } else if (mnem == "li") {
+      need(2);
+      ins.op = Op::Addi;
+      ins.rd = parse_reg(filename, lineno, ops[0]);
+      ins.rs1 = 0;
+      if (!parse_int(ops[1], ins.imm)) {
+        asm_fail(filename, lineno, "li needs an integer immediate");
+      }
+    } else if (mnem == "mv") {
+      need(2);
+      ins.op = Op::Addi;
+      ins.rd = parse_reg(filename, lineno, ops[0]);
+      ins.rs1 = parse_reg(filename, lineno, ops[1]);
+      ins.imm = 0;
+    } else if (mnem == "out") {
+      need(1);
+      ins.op = Op::Out;
+      ins.rs1 = parse_reg(filename, lineno, ops[0]);
+    } else if (mnem == "halt") {
+      need(0);
+      ins.op = Op::Halt;
+    } else if (mnem == "nop") {
+      need(0);
+      ins.op = Op::Nop;
+    } else if (mnem == ".word") {
+      need(2);
+      std::int64_t addr, val;
+      if (!parse_int(ops[0], addr) || !parse_int(ops[1], val)) {
+        asm_fail(filename, lineno, ".word expects two integers");
+      }
+      prog.data[static_cast<std::uint64_t>(addr)] = val;
+      continue;
+    } else {
+      asm_fail(filename, lineno, "unknown mnemonic '" + mnem + "'");
+    }
+    prog.code.push_back(ins);
+  }
+
+  for (const auto& fix : fixups) {
+    const auto it = prog.labels.find(fix.label);
+    if (it == prog.labels.end()) {
+      asm_fail(filename, fix.line, "undefined label '" + fix.label + "'");
+    }
+    prog.code[fix.instr_index].imm = static_cast<std::int64_t>(it->second);
+  }
+  return prog;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+ExecResult evaluate(const Instr& i, std::int64_t a, std::int64_t b,
+                    std::uint64_t pc) {
+  ExecResult r;
+  const auto ub = static_cast<std::uint64_t>(b);
+  const auto sh = static_cast<std::uint64_t>(i.imm) & 63u;
+  switch (i.op) {
+    case Op::Add: r.value = a + b; r.writes_reg = true; break;
+    case Op::Sub: r.value = a - b; r.writes_reg = true; break;
+    case Op::Mul: r.value = a * b; r.writes_reg = true; break;
+    case Op::Div: r.value = b == 0 ? -1 : a / b; r.writes_reg = true; break;
+    case Op::Rem: r.value = b == 0 ? a : a % b; r.writes_reg = true; break;
+    case Op::And: r.value = a & b; r.writes_reg = true; break;
+    case Op::Or: r.value = a | b; r.writes_reg = true; break;
+    case Op::Xor: r.value = a ^ b; r.writes_reg = true; break;
+    case Op::Sll: r.value = a << (ub & 63u); r.writes_reg = true; break;
+    case Op::Srl:
+      r.value = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) >>
+                                          (ub & 63u));
+      r.writes_reg = true;
+      break;
+    case Op::Sra: r.value = a >> (ub & 63u); r.writes_reg = true; break;
+    case Op::Slt: r.value = a < b ? 1 : 0; r.writes_reg = true; break;
+    case Op::Addi: r.value = a + i.imm; r.writes_reg = true; break;
+    case Op::Andi: r.value = a & i.imm; r.writes_reg = true; break;
+    case Op::Ori: r.value = a | i.imm; r.writes_reg = true; break;
+    case Op::Xori: r.value = a ^ i.imm; r.writes_reg = true; break;
+    case Op::Slli: r.value = a << sh; r.writes_reg = true; break;
+    case Op::Srli:
+      r.value = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) >> sh);
+      r.writes_reg = true;
+      break;
+    case Op::Slti: r.value = a < i.imm ? 1 : 0; r.writes_reg = true; break;
+    case Op::Lw:
+      r.mem_addr = static_cast<std::uint64_t>(a + i.imm);
+      r.writes_reg = true;
+      break;
+    case Op::Sw:
+      r.mem_addr = static_cast<std::uint64_t>(a + i.imm);
+      r.value = b;  // store data travels in value
+      break;
+    case Op::Beq: r.taken = a == b; break;
+    case Op::Bne: r.taken = a != b; break;
+    case Op::Blt: r.taken = a < b; break;
+    case Op::Bge: r.taken = a >= b; break;
+    case Op::Jal:
+      r.taken = true;
+      r.value = static_cast<std::int64_t>(pc + 1);  // link
+      r.writes_reg = i.rd != 0;
+      break;
+    case Op::Jalr:
+      r.taken = true;
+      r.value = static_cast<std::int64_t>(pc + 1);
+      r.writes_reg = i.rd != 0;
+      break;
+    case Op::Out: r.out = a; break;
+    case Op::Halt: r.halts = true; break;
+    case Op::Nop: break;
+  }
+  if (r.taken) {
+    r.target = i.op == Op::Jalr ? static_cast<std::uint64_t>(a + i.imm)
+                                : static_cast<std::uint64_t>(i.imm);
+  }
+  return r;
+}
+
+void ArchState::apply(const Instr& i) {
+  const std::int64_t a = regs_[i.rs1];
+  const std::int64_t b = regs_[i.rs2];
+  const ExecResult r = evaluate(i, a, b, pc_);
+  if (i.op == Op::Lw) {
+    set_reg(i.rd, load(r.mem_addr));
+  } else if (i.op == Op::Sw) {
+    store(r.mem_addr, r.value);
+  } else if (r.writes_reg) {
+    set_reg(i.rd, r.value);
+  }
+  if (r.out) out_.push_back(*r.out);
+  if (r.halts) {
+    halted_ = true;
+    return;
+  }
+  pc_ = r.taken ? r.target : pc_ + 1;
+}
+
+bool ArchState::step() {
+  if (halted_) return false;
+  const Instr& i = fetch(pc_);
+  apply(i);
+  ++retired_;
+  return !halted_;
+}
+
+std::uint64_t ArchState::run(std::uint64_t max_steps) {
+  std::uint64_t n = 0;
+  while (n < max_steps && !halted_) {
+    step();
+    ++n;
+  }
+  return retired_;
+}
+
+}  // namespace liberty::upl

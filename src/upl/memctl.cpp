@@ -1,0 +1,74 @@
+#include "liberty/upl/memctl.hpp"
+
+#include "liberty/upl/mem_protocol.hpp"
+#include "liberty/support/error.hpp"
+
+namespace liberty::upl {
+
+using liberty::core::AckMode;
+using liberty::core::Cycle;
+using liberty::core::Deps;
+using liberty::core::Params;
+
+MemoryCtl::MemoryCtl(const std::string& name, const Params& params)
+    : Module(name),
+      req_(add_in("req", AckMode::Managed, 0, 1)),
+      resp_(add_out("resp", 0, 1)),
+      latency_(static_cast<std::uint64_t>(params.get_int("latency", 20))),
+      line_words_(static_cast<std::size_t>(params.get_int("line_words", 4))),
+      bandwidth_(static_cast<std::size_t>(params.get_int("bandwidth", 1))) {
+  if (latency_ == 0 || line_words_ == 0) {
+    throw liberty::ElaborationError("upl.memctl '" + name +
+                                    "': latency and line_words must be >= 1");
+  }
+}
+
+void MemoryCtl::cycle_start(Cycle c) {
+  if (!pending_.empty() && pending_.front().ready <= c) {
+    resp_.send(pending_.front().resp);
+  } else {
+    resp_.idle();
+  }
+  // Simple bandwidth model: accept while the response pipe is shallow.
+  if (pending_.size() < bandwidth_ * 4) {
+    req_.ack();
+  } else {
+    req_.nack();
+  }
+}
+
+void MemoryCtl::end_of_cycle() {
+  if (resp_.transferred()) pending_.pop_front();
+  if (!req_.transferred()) return;
+  const auto r = req_.data().as<LineReq>();
+  switch (r->kind) {
+    case LineReq::Kind::Fetch:
+    case LineReq::Kind::FetchExclusive: {
+      stats().counter("fetches").inc();
+      std::vector<std::int64_t> words(line_words_);
+      for (std::size_t i = 0; i < line_words_; ++i) {
+        words[i] = peek(r->line + i);
+      }
+      pending_.push_back(Pending{
+          liberty::Value::make<LineResp>(
+              r->line, r->tag, r->requester, std::move(words),
+              r->kind == LineReq::Kind::FetchExclusive),
+          now() + latency_});
+      break;
+    }
+    case LineReq::Kind::Writeback: {
+      stats().counter("writebacks").inc();
+      for (std::size_t i = 0; i < r->words.size(); ++i) {
+        store_[r->line + i] = r->words[i];
+      }
+      break;
+    }
+  }
+}
+
+void MemoryCtl::declare_deps(Deps& deps) const {
+  deps.state_only(resp_);
+  deps.state_only(req_);
+}
+
+}  // namespace liberty::upl

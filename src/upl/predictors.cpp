@@ -1,0 +1,17 @@
+#include "liberty/upl/predictors.hpp"
+
+namespace liberty::upl {
+
+std::unique_ptr<Predictor> make_predictor(const std::string& kind,
+                                          std::size_t entries) {
+  if (kind == "taken") return std::make_unique<StaticPredictor>(true);
+  if (kind == "not_taken") return std::make_unique<StaticPredictor>(false);
+  if (kind == "bimodal") return std::make_unique<BimodalPredictor>(entries);
+  if (kind == "gshare") return std::make_unique<GSharePredictor>(entries * 4);
+  if (kind == "tournament") {
+    return std::make_unique<TournamentPredictor>(entries);
+  }
+  throw liberty::ElaborationError("unknown predictor kind '" + kind + "'");
+}
+
+}  // namespace liberty::upl

@@ -1,0 +1,29 @@
+#include "liberty/upl/upl.hpp"
+
+namespace liberty::upl {
+
+using liberty::core::ModuleRegistry;
+using liberty::core::simple_factory;
+
+void register_upl(ModuleRegistry& r) {
+  r.register_template("upl.fetch", "pipeline fetch stage with prediction",
+                      simple_factory<FetchStage>());
+  r.register_template("upl.decode", "pipeline decode stage (scoreboard)",
+                      simple_factory<DecodeStage>());
+  r.register_template("upl.execute", "pipeline execute stage",
+                      simple_factory<ExecuteStage>());
+  r.register_template("upl.mem", "pipeline memory stage",
+                      simple_factory<MemStage>());
+  r.register_template("upl.writeback", "pipeline writeback stage",
+                      simple_factory<WritebackStage>());
+  r.register_template("upl.simple_cpu", "behavioral CPU with memory port",
+                      simple_factory<SimpleCpu>());
+  r.register_template("upl.ooo_core", "trace-driven out-of-order core",
+                      simple_factory<OoOCore>());
+  r.register_template("upl.cache", "set-associative cache",
+                      simple_factory<CacheModule>());
+  r.register_template("upl.memctl", "line-protocol memory controller",
+                      simple_factory<MemoryCtl>());
+}
+
+}  // namespace liberty::upl

@@ -1,0 +1,204 @@
+#include "liberty/upl/workloads.hpp"
+
+#include <string>
+
+namespace liberty::upl::workloads {
+
+namespace {
+std::string num(int v) { return std::to_string(v); }
+}  // namespace
+
+std::string sum_loop(int n) {
+  return "  li r1, 0\n"
+         "  li r2, 1\n"
+         "  li r3, " + num(n) + "\n"
+         "loop:\n"
+         "  add r1, r1, r2\n"
+         "  addi r2, r2, 1\n"
+         "  bge r3, r2, loop\n"
+         "  out r1\n"
+         "  halt\n";
+}
+
+std::string fibonacci(int n) {
+  return "  li r1, 0\n"
+         "  li r2, 1\n"
+         "  li r3, " + num(n) + "\n"
+         "  li r4, 0\n"
+         "  beq r3, r4, done\n"
+         "loop:\n"
+         "  add r5, r1, r2\n"
+         "  mv r1, r2\n"
+         "  mv r2, r5\n"
+         "  addi r4, r4, 1\n"
+         "  blt r4, r3, loop\n"
+         "done:\n"
+         "  out r1\n"
+         "  halt\n";
+}
+
+std::string array_sum(int n) {
+  return "  li r1, 0\n"
+         "  li r2, " + num(n) + "\n"
+         "  li r3, 100\n"
+         "init:\n"
+         "  add r4, r3, r1\n"
+         "  sw r1, 0(r4)\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r2, init\n"
+         "  li r1, 0\n"
+         "  li r5, 0\n"
+         "sum:\n"
+         "  add r4, r3, r1\n"
+         "  lw r6, 0(r4)\n"
+         "  add r5, r5, r6\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r2, sum\n"
+         "  out r5\n"
+         "  halt\n";
+}
+
+std::string pointer_chase(int n, int stride, int steps) {
+  return "  li r1, 0\n"
+         "  li r2, " + num(n) + "\n"
+         "  li r3, " + num(stride) + "\n"
+         "  li r4, 4096\n"
+         "build:\n"
+         "  mul r5, r1, r3\n"
+         "  add r5, r5, r4\n"
+         "  addi r6, r1, 1\n"
+         "  blt r6, r2, nomod\n"
+         "  li r6, 0\n"
+         "nomod:\n"
+         "  mul r7, r6, r3\n"
+         "  add r7, r7, r4\n"
+         "  sw r7, 0(r5)\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r2, build\n"
+         "  mv r8, r4\n"
+         "  li r9, 0\n"
+         "  li r10, " + num(steps) + "\n"
+         "walk:\n"
+         "  lw r8, 0(r8)\n"
+         "  addi r9, r9, 1\n"
+         "  blt r9, r10, walk\n"
+         "  out r8\n"
+         "  halt\n";
+}
+
+std::string matmul(int size) {
+  return "  li r4, " + num(size) + "\n"
+         // Initialize A[i][j] = i + j (base 1000), B[i][j] = i - j (2000).
+         "  li r1, 0\n"
+         "ai:\n"
+         "  li r2, 0\n"
+         "aj:\n"
+         "  mul r6, r1, r4\n"
+         "  add r6, r6, r2\n"
+         "  add r7, r1, r2\n"
+         "  addi r8, r6, 1000\n"
+         "  sw r7, 0(r8)\n"
+         "  sub r7, r1, r2\n"
+         "  addi r8, r6, 2000\n"
+         "  sw r7, 0(r8)\n"
+         "  addi r2, r2, 1\n"
+         "  blt r2, r4, aj\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r4, ai\n"
+         // C = A x B (base 3000).
+         "  li r1, 0\n"
+         "ii:\n"
+         "  li r2, 0\n"
+         "jj:\n"
+         "  li r3, 0\n"
+         "  li r5, 0\n"
+         "kk:\n"
+         "  mul r6, r1, r4\n"
+         "  add r6, r6, r3\n"
+         "  addi r6, r6, 1000\n"
+         "  lw r7, 0(r6)\n"
+         "  mul r8, r3, r4\n"
+         "  add r8, r8, r2\n"
+         "  addi r8, r8, 2000\n"
+         "  lw r9, 0(r8)\n"
+         "  mul r10, r7, r9\n"
+         "  add r5, r5, r10\n"
+         "  addi r3, r3, 1\n"
+         "  blt r3, r4, kk\n"
+         "  mul r6, r1, r4\n"
+         "  add r6, r6, r2\n"
+         "  addi r6, r6, 3000\n"
+         "  sw r5, 0(r6)\n"
+         "  addi r2, r2, 1\n"
+         "  blt r2, r4, jj\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r4, ii\n"
+         "  lw r11, 3000(r0)\n"
+         "  out r11\n"
+         "  mul r12, r4, r4\n"
+         "  addi r12, r12, -1\n"
+         "  addi r12, r12, 3000\n"
+         "  lw r11, 0(r12)\n"
+         "  out r11\n"
+         "  halt\n";
+}
+
+std::string sieve(int n) {
+  return "  li r1, " + num(n) + "\n"
+         "  li r2, 2\n"
+         "  li r10, 0\n"
+         "outer:\n"
+         "  addi r3, r2, 5000\n"
+         "  lw r4, 0(r3)\n"
+         "  bne r4, r0, next\n"
+         "  addi r10, r10, 1\n"
+         "  add r5, r2, r2\n"
+         "mark:\n"
+         "  blt r1, r5, next\n"
+         "  addi r6, r5, 5000\n"
+         "  li r7, 1\n"
+         "  sw r7, 0(r6)\n"
+         "  add r5, r5, r2\n"
+         "  j mark\n"
+         "next:\n"
+         "  addi r2, r2, 1\n"
+         "  bge r1, r2, outer\n"
+         "  out r10\n"
+         "  halt\n";
+}
+
+std::string producer(int n, int base) {
+  return "  li r1, 0\n"
+         "  li r2, " + num(n) + "\n"
+         "  li r3, " + num(base) + "\n"
+         "ploop:\n"
+         "  addi r4, r3, 1\n"
+         "  add r4, r4, r1\n"
+         "  sw r1, 0(r4)\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r2, ploop\n"
+         "  li r5, 1\n"
+         "  sw r5, 0(r3)\n"
+         "  halt\n";
+}
+
+std::string consumer(int n, int base) {
+  return "  li r3, " + num(base) + "\n"
+         "spin:\n"
+         "  lw r4, 0(r3)\n"
+         "  beq r4, r0, spin\n"
+         "  li r1, 0\n"
+         "  li r2, " + num(n) + "\n"
+         "  li r5, 0\n"
+         "cloop:\n"
+         "  addi r4, r3, 1\n"
+         "  add r4, r4, r1\n"
+         "  lw r6, 0(r4)\n"
+         "  add r5, r5, r6\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r2, cloop\n"
+         "  out r5\n"
+         "  halt\n";
+}
+
+}  // namespace liberty::upl::workloads

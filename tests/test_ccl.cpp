@@ -1,0 +1,344 @@
+// CCL: routers, topologies, traffic, bus, wireless channel, Orion power.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "liberty/ccl/ccl.hpp"
+#include "liberty/core/simulator.hpp"
+#include "liberty/pcl/pcl.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using liberty::Value;
+using liberty::core::Cycle;
+using liberty::core::Netlist;
+using liberty::core::Params;
+using liberty::core::SchedulerKind;
+using liberty::core::Simulator;
+using namespace liberty::ccl;
+using liberty::test::params;
+
+/// Attach a generator and sink to every node of a fabric.
+struct MeshRig {
+  Netlist nl;
+  Fabric fabric;
+  std::vector<TrafficGen*> gens;
+  std::vector<TrafficSink*> sinks;
+};
+
+void attach_endpoints(MeshRig& rig, const Params& gen_base,
+                      std::size_t nodes, std::size_t cols) {
+  for (std::size_t i = 0; i < nodes; ++i) {
+    Params gp;
+    for (const auto& [k, v] : gen_base.values()) gp.set(k, v);
+    gp.set("id", static_cast<std::int64_t>(i));
+    gp.set("nodes", static_cast<std::int64_t>(nodes));
+    gp.set("cols", static_cast<std::int64_t>(cols));
+    auto& g = rig.nl.make<TrafficGen>("gen" + std::to_string(i), gp);
+    auto& s = rig.nl.make<TrafficSink>("sink" + std::to_string(i), Params());
+    rig.gens.push_back(&g);
+    rig.sinks.push_back(&s);
+    rig.nl.connect_at(g.out("out"), 0, rig.fabric.inject_port(i), 0);
+    rig.nl.connect_at(rig.fabric.eject_port(i), 0, s.in("in"), 0);
+  }
+}
+
+std::uint64_t total_received(const MeshRig& rig) {
+  std::uint64_t sum = 0;
+  for (const auto* s : rig.sinks) sum += s->received();
+  return sum;
+}
+std::uint64_t total_injected(const MeshRig& rig) {
+  std::uint64_t sum = 0;
+  for (const auto* g : rig.gens) sum += g->injected();
+  return sum;
+}
+
+class CclParam : public ::testing::TestWithParam<SchedulerKind> {};
+INSTANTIATE_TEST_SUITE_P(BothSchedulers, CclParam,
+                         ::testing::Values(SchedulerKind::Dynamic,
+                                           SchedulerKind::Static),
+                         [](const auto& info) {
+                           return info.param == SchedulerKind::Dynamic
+                                      ? "Dynamic"
+                                      : "Static";
+                         });
+
+TEST_P(CclParam, MeshDeliversAllUniformTraffic) {
+  MeshRig rig;
+  rig.fabric = build_mesh(rig.nl, "mesh", 4, 4);
+  attach_endpoints(rig,
+                   params({{"pattern", "uniform"}, {"rate", 0.05},
+                           {"count", 20}, {"seed", 3}}),
+                   16, 4);
+  rig.nl.finalize();
+  Simulator sim(rig.nl, GetParam());
+  sim.run(4000);
+  EXPECT_EQ(total_injected(rig), 16u * 20u);
+  EXPECT_EQ(total_received(rig), 16u * 20u);
+}
+
+TEST_P(CclParam, XyRoutingTakesManhattanHops) {
+  // Single fixed flow 0 -> 15 on a 4x4 mesh: every flit passes exactly the
+  // 7 routers on the XY path (3 east, 3 south, plus the source router).
+  Netlist nl;
+  Fabric mesh = build_mesh(nl, "mesh", 4, 4);
+  auto& gen = nl.make<TrafficGen>(
+      "gen", params({{"pattern", "fixed"}, {"dst", 15}, {"rate", 0.2},
+                     {"count", 25}, {"id", 0}, {"nodes", 16}}));
+  auto& sink = nl.make<TrafficSink>("sink", Params());
+  nl.connect_at(gen.out("out"), 0, mesh.inject_port(0), 0);
+  nl.connect_at(mesh.eject_port(15), 0, sink.in("in"), 0);
+  nl.finalize();
+  Simulator sim(nl, GetParam());
+  sim.run(1000);
+  EXPECT_EQ(sink.received(), 25u);
+  EXPECT_DOUBLE_EQ(sink.mean_hops(), 7.0);
+}
+
+TEST_P(CclParam, SchedulersBitIdenticalOnMesh) {
+  auto run = [](SchedulerKind kind) {
+    MeshRig rig;
+    rig.fabric = build_mesh(rig.nl, "mesh", 3, 3);
+    attach_endpoints(rig,
+                     params({{"pattern", "uniform"}, {"rate", 0.3},
+                             {"count", 50}, {"seed", 11}}),
+                     9, 3);
+    rig.nl.finalize();
+    Simulator sim(rig.nl, kind);
+    sim.run(1500);
+    std::map<std::string, std::uint64_t> sig;
+    for (std::size_t i = 0; i < 9; ++i) {
+      sig["recv" + std::to_string(i)] = rig.sinks[i]->received();
+      sig["lat" + std::to_string(i)] =
+          static_cast<std::uint64_t>(rig.sinks[i]->mean_latency() * 1000);
+    }
+    return sig;
+  };
+  EXPECT_EQ(run(SchedulerKind::Dynamic), run(SchedulerKind::Static));
+  (void)GetParam();
+}
+
+TEST(CclMesh, LatencyRisesWithLoad) {
+  auto mean_latency_at = [](double rate) {
+    MeshRig rig;
+    rig.fabric = build_mesh(rig.nl, "mesh", 4, 4);
+    attach_endpoints(rig,
+                     params({{"pattern", "uniform"}, {"rate", rate},
+                             {"seed", 5}}),
+                     16, 4);
+    rig.nl.finalize();
+    Simulator sim(rig.nl);
+    sim.run(3000);
+    double lat = 0.0;
+    for (const auto* s : rig.sinks) lat += s->mean_latency();
+    return lat / 16.0;
+  };
+  const double low = mean_latency_at(0.02);
+  const double high = mean_latency_at(0.35);
+  EXPECT_GT(high, low * 1.3);
+}
+
+TEST(CclMesh, BackpressureNeverDropsFlits) {
+  // Hotspot pattern at saturating load: flits queue, none vanish.
+  MeshRig rig;
+  rig.fabric = build_mesh(rig.nl, "mesh", 3, 3);
+  attach_endpoints(rig,
+                   params({{"pattern", "hotspot"}, {"hotspot", 4},
+                           {"hotspot_frac", 0.9}, {"rate", 0.5},
+                           {"count", 30}, {"seed", 2}}),
+                   9, 3);
+  rig.nl.finalize();
+  Simulator sim(rig.nl);
+  sim.run(6000);
+  EXPECT_EQ(total_received(rig), total_injected(rig));
+  // All 8 non-hotspot nodes inject their full 30; the hotspot node drops
+  // the ~90% of its own packets that would address itself.
+  EXPECT_GE(total_received(rig), 8u * 30u);
+  EXPECT_LE(total_received(rig), 9u * 30u);
+}
+
+TEST(CclRing, ShortestPathDirection) {
+  Netlist nl;
+  Fabric ring = build_ring(nl, "ring", 8);
+  Params gp = liberty::test::params({{"pattern", "fixed"}, {"dst", 1},
+                                     {"rate", 0.2}, {"count", 10},
+                                     {"id", 7}, {"nodes", 8}});
+  auto& gen = nl.make<TrafficGen>("gen", gp);
+  auto& sink = nl.make<TrafficSink>("sink", Params());
+  nl.connect_at(gen.out("out"), 0, ring.inject_port(7), 0);
+  nl.connect_at(ring.eject_port(1), 0, sink.in("in"), 0);
+  nl.finalize();
+  Simulator sim(nl);
+  sim.run(1000);
+  EXPECT_EQ(sink.received(), 10u);
+  // 7 -> 1 clockwise is 2 hops of distance: passes routers 7, 0, 1 = 3.
+  EXPECT_DOUBLE_EQ(sink.mean_hops(), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Bus
+// ---------------------------------------------------------------------------
+
+TEST_P(CclParam, BusBroadcastsToAllReceivers) {
+  Netlist nl;
+  auto& bus = nl.make<Bus>("bus", params({{"occupancy", 2}}));
+  auto& g = nl.make<TrafficGen>(
+      "g", params({{"pattern", "fixed"}, {"dst", 1}, {"rate", 1.0},
+                   {"count", 5}, {"id", 0}, {"nodes", 4}}));
+  std::vector<TrafficSink*> sinks;
+  nl.connect(g.out("out"), bus.in("in"));
+  for (int i = 0; i < 3; ++i) {
+    auto& s = nl.make<TrafficSink>("s" + std::to_string(i), Params());
+    sinks.push_back(&s);
+    nl.connect(bus.out("out"), s.in("in"));
+  }
+  nl.finalize();
+  Simulator sim(nl, GetParam());
+  sim.run(200);
+  for (const auto* s : sinks) EXPECT_EQ(s->received(), 5u);
+  EXPECT_EQ(nl.get("bus").stats().counter_value("transactions"), 5u);
+}
+
+TEST(CclBus, OccupancySerializesMasters) {
+  Netlist nl;
+  auto& bus = nl.make<Bus>("bus", params({{"occupancy", 4}}));
+  for (int i = 0; i < 2; ++i) {
+    auto& g = nl.make<TrafficGen>(
+        "g" + std::to_string(i),
+        params({{"pattern", "fixed"}, {"dst", 0}, {"rate", 1.0},
+                {"count", 10}, {"id", 1}, {"nodes", 4}}));
+    nl.connect(g.out("out"), bus.in("in"));
+  }
+  auto& s = nl.make<TrafficSink>("s", Params());
+  nl.connect(bus.out("out"), s.in("in"));
+  nl.finalize();
+  Simulator sim(nl);
+  const auto cycles = sim.run(300);
+  (void)cycles;
+  EXPECT_EQ(s.received(), 20u);
+  // 20 transactions x >= 4 cycles each cannot finish before cycle 80.
+  EXPECT_GT(nl.get("bus").stats().counter_value("busy_cycles"), 75u);
+  EXPECT_GT(nl.get("bus").stats().counter_value("conflicts"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Wireless
+// ---------------------------------------------------------------------------
+
+TEST_P(CclParam, WirelessSingleSenderDelivers) {
+  Netlist nl;
+  auto& ch = nl.make<WirelessChannel>("air",
+                                      params({{"airtime", 4}, {"loss", 0.0}}));
+  auto& g = nl.make<TrafficGen>(
+      "g", params({{"pattern", "fixed"}, {"dst", 1}, {"rate", 0.3},
+                   {"count", 12}, {"id", 0}, {"nodes", 2}, {"seed", 9}}));
+  auto& s0 = nl.make<TrafficSink>("s0", Params());
+  auto& s1 = nl.make<TrafficSink>("s1", Params());
+  nl.connect(g.out("out"), ch.in("in"));
+  nl.connect_at(ch.out("out"), 0, s0.in("in"), 0);
+  nl.connect_at(ch.out("out"), 1, s1.in("in"), 0);
+  nl.finalize();
+  Simulator sim(nl, GetParam());
+  sim.run(1000);
+  EXPECT_EQ(s1.received(), 12u);
+  EXPECT_EQ(s0.received(), 0u);
+  EXPECT_EQ(nl.get("air").stats().counter_value("collisions"), 0u);
+}
+
+TEST(CclWireless, SimultaneousStartersCollide) {
+  Netlist nl;
+  auto& ch = nl.make<WirelessChannel>("air",
+                                      params({{"airtime", 2}, {"loss", 0.0}}));
+  // Two period-synchronized senders always start together -> all collide.
+  for (int i = 0; i < 2; ++i) {
+    auto& g = nl.make<TrafficGen>(
+        "g" + std::to_string(i),
+        params({{"pattern", "fixed"}, {"dst", 2}, {"rate", 1.0},
+                {"count", 10}, {"id", i}, {"nodes", 3}}));
+    nl.connect(g.out("out"), ch.in("in"));
+  }
+  auto& s = nl.make<TrafficSink>("s", Params());
+  nl.connect_at(ch.out("out"), 2, s.in("in"), 0);
+  nl.finalize();
+  Simulator sim(nl);
+  sim.run(400);
+  EXPECT_EQ(s.received(), 0u);
+  EXPECT_EQ(nl.get("air").stats().counter_value("collisions"), 10u);
+  EXPECT_EQ(nl.get("air").stats().counter_value("lost"), 20u);
+}
+
+TEST(CclWireless, LossProbabilityDropsPackets) {
+  Netlist nl;
+  auto& ch = nl.make<WirelessChannel>(
+      "air", params({{"airtime", 1}, {"loss", 0.5}, {"seed", 4}}));
+  auto& g = nl.make<TrafficGen>(
+      "g", params({{"pattern", "fixed"}, {"dst", 1}, {"rate", 1.0},
+                   {"count", 200}, {"id", 0}, {"nodes", 2}}));
+  auto& s = nl.make<TrafficSink>("s", Params());
+  nl.connect(g.out("out"), ch.in("in"));
+  nl.connect_at(ch.out("out"), 1, s.in("in"), 0);
+  nl.finalize();
+  Simulator sim(nl);
+  sim.run(3000);
+  const auto delivered = s.received();
+  EXPECT_GT(delivered, 60u);
+  EXPECT_LT(delivered, 140u);  // ~100 of 200 at 50% loss
+}
+
+// ---------------------------------------------------------------------------
+// Orion power / thermal
+// ---------------------------------------------------------------------------
+
+TEST(CclPower, DynamicEnergyScalesWithLoadOverLeakageFloor) {
+  auto energies = [](double rate) {
+    MeshRig rig;
+    rig.fabric = build_mesh(rig.nl, "mesh", 3, 3);
+    attach_endpoints(rig,
+                     params({{"pattern", "uniform"}, {"rate", rate},
+                             {"seed", 8}}),
+                     9, 3);
+    rig.nl.finalize();
+    Simulator sim(rig.nl);
+    sim.run(2000);
+    return std::pair<double, double>(rig.fabric.total_dynamic_pj(),
+                                     rig.fabric.total_leakage_pj());
+  };
+  const auto [dyn_idle, leak_idle] = energies(0.0);
+  const auto [dyn_low, leak_low] = energies(0.05);
+  const auto [dyn_high, leak_high] = energies(0.3);
+  EXPECT_EQ(dyn_idle, 0.0);
+  EXPECT_GT(leak_idle, 0.0);                 // leakage floor exists
+  EXPECT_GT(dyn_high, dyn_low * 3.0);        // dynamic scales with load
+  EXPECT_NEAR(leak_low, leak_high, 1e-6);    // leakage is load-independent
+  EXPECT_NEAR(leak_low, leak_idle, 1e-6);
+}
+
+TEST(CclPower, ThermalRisesUnderLoad) {
+  MeshRig rig;
+  rig.fabric = build_mesh(rig.nl, "mesh", 2, 2);
+  attach_endpoints(rig,
+                   params({{"pattern", "uniform"}, {"rate", 0.5},
+                           {"seed", 6}}),
+                   4, 2);
+  rig.nl.finalize();
+  Simulator sim(rig.nl);
+  sim.run(3000);
+  for (const Router* r : rig.fabric.routers) {
+    EXPECT_GT(r->thermal().temperature(), 45.0);  // above ambient
+  }
+}
+
+TEST(CclPower, WiderFlitsCostMoreEnergy) {
+  PowerConfig narrow;
+  narrow.flit_bits = 32;
+  PowerConfig wide;
+  wide.flit_bits = 128;
+  RouterPower pn(narrow), pw(wide);
+  pn.on_buffer_write();
+  pw.on_buffer_write();
+  EXPECT_GT(pw.dynamic_pj(), pn.dynamic_pj() * 3.9);
+}
+
+}  // namespace

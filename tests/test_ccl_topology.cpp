@@ -1,0 +1,116 @@
+// CCL topologies: torus wrap routing, link power accounting, and larger
+// fabric sanity under both schedulers.
+#include <gtest/gtest.h>
+
+#include "liberty/ccl/ccl.hpp"
+#include "liberty/core/simulator.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using liberty::Value;
+using liberty::core::Netlist;
+using liberty::core::Params;
+using liberty::core::SchedulerKind;
+using liberty::core::Simulator;
+using namespace liberty::ccl;
+using liberty::test::params;
+
+class Topology : public ::testing::TestWithParam<SchedulerKind> {};
+INSTANTIATE_TEST_SUITE_P(BothSchedulers, Topology,
+                         ::testing::Values(SchedulerKind::Dynamic,
+                                           SchedulerKind::Static),
+                         [](const auto& info) {
+                           return info.param == SchedulerKind::Dynamic
+                                      ? "Dynamic"
+                                      : "Static";
+                         });
+
+TEST_P(Topology, TorusWrapLinksShortenCornerToCorner) {
+  // On a 4x4 MESH, 0 -> 15 takes 7 router hops (3 + 3 + source).  On a
+  // 4x4 TORUS the wrap links cut each dimension to distance 1: 3 hops.
+  auto run = [&](bool torus) {
+    Netlist nl;
+    Fabric f = torus ? build_torus(nl, "t", 4, 4)
+                     : build_mesh(nl, "m", 4, 4);
+    auto& gen = nl.make<TrafficGen>(
+        "gen", params({{"pattern", "fixed"}, {"dst", 15}, {"rate", 0.2},
+                       {"count", 20}, {"id", 0}, {"nodes", 16}}));
+    auto& sink = nl.make<TrafficSink>("sink", Params());
+    nl.connect_at(gen.out("out"), 0, f.inject_port(0), 0);
+    nl.connect_at(f.eject_port(15), 0, sink.in("in"), 0);
+    nl.finalize();
+    Simulator sim(nl, GetParam());
+    sim.run(1200);
+    EXPECT_EQ(sink.received(), 20u);
+    return sink.mean_hops();
+  };
+  EXPECT_DOUBLE_EQ(run(false), 7.0);
+  EXPECT_DOUBLE_EQ(run(true), 3.0);
+}
+
+TEST_P(Topology, TorusDeliversUniformTraffic) {
+  Netlist nl;
+  Fabric torus = build_torus(nl, "t", 3, 3);
+  std::uint64_t injected = 0;
+  std::vector<TrafficSink*> sinks;
+  std::vector<TrafficGen*> gens;
+  for (std::size_t i = 0; i < 9; ++i) {
+    auto& g = nl.make<TrafficGen>(
+        "g" + std::to_string(i),
+        params({{"pattern", "uniform"}, {"rate", 0.1}, {"count", 25},
+                {"id", static_cast<int>(i)}, {"nodes", 9}, {"seed", 4}}));
+    auto& s = nl.make<TrafficSink>("s" + std::to_string(i), Params());
+    gens.push_back(&g);
+    sinks.push_back(&s);
+    nl.connect_at(g.out("out"), 0, torus.inject_port(i), 0);
+    nl.connect_at(torus.eject_port(i), 0, s.in("in"), 0);
+  }
+  nl.finalize();
+  Simulator sim(nl, GetParam());
+  sim.run(4000);
+  std::uint64_t received = 0;
+  for (auto* g : gens) injected += g->injected();
+  for (auto* s : sinks) received += s->received();
+  EXPECT_EQ(received, injected);
+  EXPECT_EQ(received, 9u * 25u);
+}
+
+TEST(TopologyPower, LinkEnergyCountsTraversals) {
+  Netlist nl;
+  auto& src = nl.make<TrafficGen>(
+      "src", params({{"pattern", "fixed"}, {"dst", 1}, {"rate", 1.0},
+                     {"count", 10}, {"id", 0}, {"nodes", 2}}));
+  auto& link = nl.make<Link>("link", params({{"latency", 2},
+                                             {"link_mm", 3.0}}));
+  auto& sink = nl.make<TrafficSink>("sink", Params());
+  nl.connect(src.out("out"), link.in("in"));
+  nl.connect(link.out("out"), sink.in("in"));
+  nl.finalize();
+  Simulator sim(nl);
+  sim.run(200);
+  EXPECT_EQ(sink.received(), 10u);
+  EXPECT_EQ(link.stats().counter_value("traversals"), 10u);
+  // 10 traversals x 0.45 pJ/mm x 3 mm.
+  EXPECT_NEAR(link.power().total_pj(), 10 * 0.45 * 3.0, 1e-9);
+}
+
+TEST(TopologyRouting, CustomRouteFunctionOverridesDefault) {
+  // Force everything out of the local port regardless of destination.
+  Netlist nl;
+  auto& r = nl.make<Router>(
+      "r", params({{"id", 0}, {"nodes", 4}, {"routing", "custom"}}));
+  r.set_route_fn([](const Flit&) { return std::size_t{0}; });
+  auto& gen = nl.make<TrafficGen>(
+      "g", params({{"pattern", "fixed"}, {"dst", 3}, {"rate", 1.0},
+                   {"count", 5}, {"id", 0}, {"nodes", 4}}));
+  auto& sink = nl.make<TrafficSink>("s", Params());
+  nl.connect_at(gen.out("out"), 0, r.in("in"), 0);
+  nl.connect_at(r.out("out"), 0, sink.in("in"), 0);
+  nl.finalize();
+  Simulator sim(nl);
+  sim.run(100);
+  EXPECT_EQ(sink.received(), 5u);  // dst 3 ejected locally anyway
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Wormhole (multi-flit) packets: routing integrity, non-interleaving, and
+// the blocking behaviour long packets impose on crossing traffic.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "liberty/ccl/ccl.hpp"
+#include "liberty/core/simulator.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using liberty::Value;
+using liberty::core::Cycle;
+using liberty::core::Netlist;
+using liberty::core::Params;
+using liberty::core::SchedulerKind;
+using liberty::core::Simulator;
+using namespace liberty::ccl;
+using liberty::test::params;
+
+class Wormhole : public ::testing::TestWithParam<SchedulerKind> {};
+INSTANTIATE_TEST_SUITE_P(BothSchedulers, Wormhole,
+                         ::testing::Values(SchedulerKind::Dynamic,
+                                           SchedulerKind::Static),
+                         [](const auto& info) {
+                           return info.param == SchedulerKind::Dynamic
+                                      ? "Dynamic"
+                                      : "Static";
+                         });
+
+/// Records the exact flit sequence arriving at one node.
+class FlitRecorder final : public liberty::core::Module {
+ public:
+  explicit FlitRecorder(const std::string& name)
+      : liberty::core::Module(name) {
+    in_ = &add_in("in", liberty::core::AckMode::AutoAccept, 0, 1);
+  }
+  void end_of_cycle() override {
+    if (in_->transferred()) {
+      flits.push_back(in_->data().as<Flit>());
+    }
+  }
+  std::vector<std::shared_ptr<const Flit>> flits;
+
+ private:
+  liberty::core::Port* in_ = nullptr;
+};
+
+TEST_P(Wormhole, PacketsArriveContiguousAndComplete) {
+  // Two senders aim 4-flit packets at one destination across a mesh; the
+  // arrival stream at the destination must never interleave flits of
+  // different packets (the wormhole output lock).
+  Netlist nl;
+  Fabric mesh = build_mesh(nl, "mesh", 3, 3);
+  for (int s = 0; s < 2; ++s) {
+    auto& g = nl.make<TrafficGen>(
+        "g" + std::to_string(s),
+        params({{"pattern", "fixed"}, {"dst", 8}, {"rate", 0.3},
+                {"count", 10}, {"length", 4},
+                {"id", s}, {"nodes", 9}, {"vcs", 1},
+                {"seed", s + 5}}));
+    nl.connect_at(g.out("out"), 0, mesh.inject_port(s), 0);
+  }
+  auto& rec = nl.make<FlitRecorder>("rec");
+  nl.connect_at(mesh.eject_port(8), 0, rec.in("in"), 0);
+  nl.finalize();
+  Simulator sim(nl, GetParam());
+  sim.run(4000);
+
+  ASSERT_EQ(rec.flits.size(), 2u * 10u * 4u);
+  // Walk the stream: a head opens a packet; until its tail, every flit
+  // must belong to the same packet.
+  std::uint64_t open_packet = 0;
+  bool open = false;
+  std::map<std::uint64_t, int> flits_per_packet;
+  for (const auto& f : rec.flits) {
+    if (!open) {
+      ASSERT_TRUE(f->head) << "stray body flit outside any packet";
+      open_packet = f->packet;
+      open = !f->tail;
+    } else {
+      ASSERT_FALSE(f->head);
+      ASSERT_EQ(f->packet, open_packet) << "interleaved packets";
+      if (f->tail) open = false;
+    }
+    ++flits_per_packet[f->packet];
+  }
+  EXPECT_FALSE(open) << "truncated final packet";
+  for (const auto& [pkt, n] : flits_per_packet) {
+    EXPECT_EQ(n, 4) << "packet " << pkt;
+  }
+}
+
+TEST_P(Wormhole, LongPacketsBlockSharedOutputChannel) {
+  // Flows A (3 -> 5) and B (4 -> 5) share router 4's east output.  When A
+  // uses long wormhole packets, B's flits wait behind whole packets and
+  // B's latency rises.
+  auto contended_latency = [&](int length) {
+    Netlist nl;
+    Fabric mesh = build_mesh(nl, "mesh", 3, 3);
+    auto& a = nl.make<TrafficGen>(
+        "a", params({{"pattern", "fixed"}, {"dst", 5}, {"rate", 0.12},
+                     {"count", 40}, {"length", length}, {"id", 3},
+                     {"nodes", 9}, {"vcs", 1}, {"seed", 2}}));
+    auto& b = nl.make<TrafficGen>(
+        "b", params({{"pattern", "fixed"}, {"dst", 5}, {"rate", 0.1},
+                     {"count", 25}, {"length", 1}, {"id", 4},
+                     {"nodes", 9}, {"vcs", 1}, {"seed", 3}}));
+    auto& rec = nl.make<FlitRecorder>("rec");
+    nl.connect_at(a.out("out"), 0, mesh.inject_port(3), 0);
+    nl.connect_at(b.out("out"), 0, mesh.inject_port(4), 0);
+    nl.connect_at(mesh.eject_port(5), 0, rec.in("in"), 0);
+    nl.finalize();
+    Simulator sim(nl, GetParam());
+    // Track arrival cycles to compute flow B's mean latency.
+    double b_lat = 0.0;
+    std::size_t b_n = 0;
+    sim.observe_transfers(
+        [&](const liberty::core::Connection& c, Cycle cycle) {
+          if (c.consumer()->name() != "rec") return;
+          const auto f = c.data().as<Flit>();
+          if (f->src == 4) {
+            b_lat += static_cast<double>(cycle - f->born);
+            ++b_n;
+          }
+        });
+    sim.run(8000);
+    EXPECT_EQ(b_n, 25u);
+    return b_n == 0 ? 0.0 : b_lat / static_cast<double>(b_n);
+  };
+  const double with_short = contended_latency(1);
+  const double with_long = contended_latency(8);
+  EXPECT_GT(with_long, with_short);
+}
+
+TEST_P(Wormhole, SingleFlitBehaviourUnchangedByLengthOne) {
+  // length=1 must reduce to the plain single-flit router (packets ==
+  // flits, no residual locks).
+  Netlist nl;
+  Fabric mesh = build_mesh(nl, "mesh", 2, 2);
+  auto& g = nl.make<TrafficGen>(
+      "g", params({{"pattern", "uniform"}, {"rate", 0.2}, {"count", 30},
+                   {"length", 1}, {"id", 0}, {"nodes", 4}, {"seed", 9}}));
+  auto& s1 = nl.make<TrafficSink>("s1", Params());
+  auto& s2 = nl.make<TrafficSink>("s2", Params());
+  auto& s3 = nl.make<TrafficSink>("s3", Params());
+  nl.connect_at(g.out("out"), 0, mesh.inject_port(0), 0);
+  nl.connect_at(mesh.eject_port(1), 0, s1.in("in"), 0);
+  nl.connect_at(mesh.eject_port(2), 0, s2.in("in"), 0);
+  nl.connect_at(mesh.eject_port(3), 0, s3.in("in"), 0);
+  nl.finalize();
+  Simulator sim(nl, GetParam());
+  sim.run(2000);
+  const auto total = s1.received() + s2.received() + s3.received();
+  EXPECT_EQ(total, 30u);
+  const auto packets = s1.stats().counter_value("packets") +
+                       s2.stats().counter_value("packets") +
+                       s3.stats().counter_value("packets");
+  EXPECT_EQ(packets, 30u);
+}
+
+}  // namespace

@@ -1,0 +1,342 @@
+// LSS language: lexing, parsing, elaboration, hierarchy, generative
+// constructs, and error reporting.
+#include <gtest/gtest.h>
+
+#include "liberty/core/lss/elaborator.hpp"
+#include "liberty/core/lss/lexer.hpp"
+#include "liberty/core/lss/parser.hpp"
+#include "liberty/core/simulator.hpp"
+#include "liberty/pcl/pcl.hpp"
+#include "liberty/support/error.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using liberty::SpecError;
+using liberty::Value;
+using liberty::core::Netlist;
+using liberty::core::SchedulerKind;
+using liberty::core::Simulator;
+using liberty::core::lss::build_from_lss;
+using liberty::core::lss::parse;
+using liberty::core::lss::Tok;
+using liberty::core::lss::tokenize;
+using liberty::test::registry;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LssLexer, TokenizesRangesWithoutEatingDots) {
+  const auto toks = tokenize("for i in 0 .. 4", "t");
+  ASSERT_EQ(toks.size(), 7u);  // for i in 0 .. 4 <end>
+  EXPECT_EQ(toks[3].kind, Tok::Int);
+  EXPECT_EQ(toks[4].kind, Tok::DotDot);
+  EXPECT_EQ(toks[5].int_val, 4);
+}
+
+TEST(LssLexer, AdjacentRangeWithoutSpaces) {
+  const auto toks = tokenize("0..4", "t");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, Tok::Int);
+  EXPECT_EQ(toks[1].kind, Tok::DotDot);
+  EXPECT_EQ(toks[2].kind, Tok::Int);
+}
+
+TEST(LssLexer, RealsAndInts) {
+  const auto toks = tokenize("1.5 2 3e2", "t");
+  EXPECT_EQ(toks[0].kind, Tok::Real);
+  EXPECT_DOUBLE_EQ(toks[0].real_val, 1.5);
+  EXPECT_EQ(toks[1].kind, Tok::Int);
+  EXPECT_EQ(toks[2].kind, Tok::Real);
+  EXPECT_DOUBLE_EQ(toks[2].real_val, 300.0);
+}
+
+TEST(LssLexer, CommentsAndStrings) {
+  const auto toks = tokenize(
+      "// line comment\n/* block */ \"hi\\n\" ident", "t");
+  EXPECT_EQ(toks[0].kind, Tok::String);
+  EXPECT_EQ(toks[0].text, "hi\n");
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+}
+
+TEST(LssLexer, ErrorsCarryLocation) {
+  try {
+    tokenize("a\n  @", "file.lss");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(LssParser, RejectsSyntaxErrorsWithLocation) {
+  EXPECT_THROW(parse("instance x pcl.queue;", "t"), SpecError);
+  EXPECT_THROW(parse("connect a -> b.in;", "t"), SpecError);
+  EXPECT_THROW(parse("for i in 0 4 { }", "t"), SpecError);
+  EXPECT_THROW(parse("module m { module n { } }", "t"), SpecError);
+  EXPECT_THROW(parse("inport x;", "t"), SpecError);
+}
+
+TEST(LssParser, ParsesRepresentativeSpec) {
+  const char* spec = R"(
+    param N = 4;
+    module stage {
+      param depth = 2;
+      inport in; outport out;
+      instance q : pcl.queue { depth = depth; };
+      export q.in as in;
+      export q.out as out;
+    }
+    instance src : pcl.source { kind = "counter"; count = 10 * N; };
+    for i in 0 .. N { instance st[i] : stage { depth = i + 1 }; }
+  )";
+  // Note: missing ';' after `depth = i + 1` must fail.
+  EXPECT_THROW(parse(spec, "t"), SpecError);
+}
+
+// ---------------------------------------------------------------------------
+// Elaboration: flat specs
+// ---------------------------------------------------------------------------
+
+TEST(LssElab, FlatPipelineRuns) {
+  const char* spec = R"(
+    instance src : pcl.source { kind = "counter"; count = 30; period = 1; };
+    instance q : pcl.queue { depth = 4; };
+    instance sink : pcl.sink { stop_after = 30; };
+    connect src.out -> q.in;
+    connect q.out -> sink.in;
+  )";
+  Netlist nl;
+  build_from_lss(spec, "pipeline.lss", nl, registry());
+  Simulator sim(nl);
+  sim.run(1000);
+  std::ostringstream stats;
+  nl.dump_stats(stats);
+  EXPECT_NE(stats.str().find("sink.consumed = 30"), std::string::npos);
+}
+
+TEST(LssElab, ParamOverridesApply) {
+  const char* spec = R"(
+    param COUNT = 5;
+    instance src : pcl.source { kind = "counter"; count = COUNT; period = 1; };
+    instance sink : pcl.sink;
+    connect src.out -> sink.in;
+  )";
+  Netlist nl;
+  build_from_lss(spec, "t.lss", nl, registry(),
+                 {{"COUNT", Value(std::int64_t{12})}});
+  Simulator sim(nl);
+  sim.run(50);
+  auto* sink = dynamic_cast<liberty::pcl::Sink*>(nl.find("sink"));
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(sink->consumed(), 12u);
+}
+
+TEST(LssElab, ForLoopsAndIndexedInstances) {
+  const char* spec = R"(
+    param N = 3;
+    instance arb : pcl.arbiter;
+    instance sink : pcl.sink;
+    for i in 0 .. N {
+      instance src[i] : pcl.source {
+        kind = "counter"; period = 1; count = 10;
+      };
+      connect src[i].out -> arb.in;
+    }
+    connect arb.out -> sink.in;
+  )";
+  Netlist nl;
+  build_from_lss(spec, "t.lss", nl, registry());
+  EXPECT_NE(nl.find("src[0]"), nullptr);
+  EXPECT_NE(nl.find("src[2]"), nullptr);
+  EXPECT_EQ(nl.find("src[3]"), nullptr);
+  Simulator sim(nl);
+  sim.run(100);
+  auto* sink = dynamic_cast<liberty::pcl::Sink*>(nl.find("sink"));
+  EXPECT_EQ(sink->consumed(), 30u);
+}
+
+TEST(LssElab, ConditionalInstantiation) {
+  const char* spec = R"(
+    param FAST = false;
+    instance src : pcl.source { kind = "token"; period = 1; count = 8; };
+    instance sink : pcl.sink;
+    if FAST {
+      connect src.out -> sink.in;
+    } else {
+      instance d : pcl.delay { latency = 5; };
+      connect src.out -> d.in;
+      connect d.out -> sink.in;
+    }
+  )";
+  Netlist nl;
+  build_from_lss(spec, "t.lss", nl, registry());
+  EXPECT_NE(nl.find("d"), nullptr);
+
+  Netlist nl2;
+  build_from_lss(spec, "t.lss", nl2, registry(), {{"FAST", Value(true)}});
+  EXPECT_EQ(nl2.find("d"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Elaboration: hierarchy
+// ---------------------------------------------------------------------------
+
+TEST(LssElab, HierarchicalModulesInlineAndExportPorts) {
+  const char* spec = R"(
+    module buffered_stage {
+      param depth = 2;
+      inport in;
+      outport out;
+      instance q1 : pcl.queue { depth = depth; };
+      instance q2 : pcl.queue { depth = depth; };
+      connect q1.out -> q2.in;
+      export q1.in as in;
+      export q2.out as out;
+    }
+    instance src : pcl.source { kind = "counter"; count = 20; period = 1; };
+    instance st : buffered_stage { depth = 3; };
+    instance sink : pcl.sink;
+    connect src.out -> st.in;
+    connect st.out -> sink.in;
+  )";
+  Netlist nl;
+  build_from_lss(spec, "t.lss", nl, registry());
+  // Hierarchy inlines to dotted instance names.
+  EXPECT_NE(nl.find("st.q1"), nullptr);
+  EXPECT_NE(nl.find("st.q2"), nullptr);
+  Simulator sim(nl, SchedulerKind::Static);
+  sim.run(100);
+  auto* sink = dynamic_cast<liberty::pcl::Sink*>(nl.find("sink"));
+  EXPECT_EQ(sink->consumed(), 20u);
+}
+
+TEST(LssElab, NestedHierarchyTwoLevels) {
+  const char* spec = R"(
+    module inner {
+      inport in; outport out;
+      instance q : pcl.queue { depth = 1; };
+      export q.in as in;
+      export q.out as out;
+    }
+    module outer {
+      inport in; outport out;
+      instance a : inner;
+      instance b : inner;
+      connect a.out -> b.in;
+      export a.in as in;
+      export b.out as out;
+    }
+    instance src : pcl.source { kind = "counter"; count = 10; period = 1; };
+    instance o : outer;
+    instance sink : pcl.sink;
+    connect src.out -> o.in;
+    connect o.out -> sink.in;
+  )";
+  Netlist nl;
+  build_from_lss(spec, "t.lss", nl, registry());
+  EXPECT_NE(nl.find("o.a.q"), nullptr);
+  EXPECT_NE(nl.find("o.b.q"), nullptr);
+  Simulator sim(nl);
+  sim.run(100);
+  auto* sink = dynamic_cast<liberty::pcl::Sink*>(nl.find("sink"));
+  EXPECT_EQ(sink->consumed(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Elaboration errors
+// ---------------------------------------------------------------------------
+
+TEST(LssElabErrors, UnknownTemplate) {
+  Netlist nl;
+  EXPECT_THROW(
+      build_from_lss("instance x : no.such.thing;", "t", nl, registry()),
+      SpecError);
+}
+
+TEST(LssElabErrors, UnknownParameterName) {
+  Netlist nl;
+  EXPECT_THROW(build_from_lss("instance q : pcl.queue { depht = 4; };", "t",
+                              nl, registry()),
+               SpecError);
+}
+
+TEST(LssElabErrors, UnknownInstanceInConnect) {
+  Netlist nl;
+  EXPECT_THROW(build_from_lss(R"(
+      instance s : pcl.sink;
+      connect ghost.out -> s.in;
+    )",
+                              "t", nl, registry()),
+               SpecError);
+}
+
+TEST(LssElabErrors, UndeclaredVariable) {
+  Netlist nl;
+  EXPECT_THROW(build_from_lss("instance q : pcl.queue { depth = DEPTH; };",
+                              "t", nl, registry()),
+               SpecError);
+}
+
+TEST(LssElabErrors, UnexportedDeclaredPort) {
+  Netlist nl;
+  EXPECT_THROW(build_from_lss(R"(
+      module broken {
+        inport in;
+        instance q : pcl.queue;
+      }
+      instance b : broken;
+    )",
+                              "t", nl, registry()),
+               SpecError);
+}
+
+TEST(LssElabErrors, RecursiveModuleDepthLimited) {
+  Netlist nl;
+  EXPECT_THROW(build_from_lss(R"(
+      module loop {
+        inport in; outport out;
+        instance inner : loop;
+        export inner.in as in;
+        export inner.out as out;
+      }
+      instance l : loop;
+    )",
+                              "t", nl, registry()),
+               SpecError);
+}
+
+TEST(LssElabErrors, DivisionByZero) {
+  Netlist nl;
+  EXPECT_THROW(build_from_lss("param X = 1 / 0;", "t", nl, registry()),
+               SpecError);
+}
+
+// ---------------------------------------------------------------------------
+// Expression semantics
+// ---------------------------------------------------------------------------
+
+TEST(LssExpr, ArithmeticAndStringsInParams) {
+  const char* spec = R"(
+    param A = 2 + 3 * 4;          // 14
+    param B = (2 + 3) * 4;        // 20
+    param C = A < B && !(A == B); // true
+    param NAME = "q" + 1;         // "q1"
+    instance src : pcl.source { kind = "token"; period = 1; count = A; };
+    instance sink : pcl.sink { stop_after = C ? A : B; };
+    connect src.out -> sink.in;
+  )";
+  Netlist nl;
+  build_from_lss(spec, "t.lss", nl, registry());
+  Simulator sim(nl);
+  sim.run(100);
+  auto* sink = dynamic_cast<liberty::pcl::Sink*>(nl.find("sink"));
+  EXPECT_EQ(sink->consumed(), 14u);
+}
+
+}  // namespace

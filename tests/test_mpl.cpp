@@ -1,0 +1,407 @@
+// MPL: snooping and directory coherence with real processors, memory
+// ordering controllers (SC vs TSO litmus), and DMA message passing.
+#include <gtest/gtest.h>
+
+#include "liberty/ccl/ccl.hpp"
+#include "liberty/core/simulator.hpp"
+#include "liberty/mpl/mpl.hpp"
+#include "liberty/nil/fabric_adapter.hpp"
+#include "liberty/pcl/pcl.hpp"
+#include "liberty/upl/upl.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using liberty::Value;
+using liberty::core::Netlist;
+using liberty::core::Params;
+using liberty::core::SchedulerKind;
+using liberty::core::Simulator;
+using namespace liberty::mpl;
+using namespace liberty::upl;
+using liberty::nil::FabricAdapter;
+using liberty::test::params;
+
+// ---------------------------------------------------------------------------
+// Snooping-bus rig
+// ---------------------------------------------------------------------------
+
+struct SnoopRig {
+  Netlist nl;
+  std::vector<SimpleCpu*> cpus;
+  std::vector<SnoopCache*> caches;
+  SnoopMemory* memory = nullptr;
+  liberty::ccl::Bus* bus = nullptr;
+};
+
+void build_snoop_rig(SnoopRig& rig, const std::vector<Program>& programs,
+                     OrderingCtl** out_orderings = nullptr,
+                     const std::string& ordering_mode = "") {
+  const std::size_t n = programs.size();
+  rig.bus = &rig.nl.make<liberty::ccl::Bus>("bus", params({{"occupancy", 1}}));
+  rig.memory = &rig.nl.make<SnoopMemory>(
+      "memory", params({{"line_words", 4}, {"latency", 6}}));
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& cpu = rig.nl.make<SimpleCpu>("cpu" + std::to_string(i), Params());
+    auto& cache = rig.nl.make<SnoopCache>(
+        "l1_" + std::to_string(i),
+        params({{"id", static_cast<int>(i)}, {"sets", 8}, {"ways", 2},
+                {"line_words", 4}}));
+    cpu.set_program(programs[i]);
+    rig.cpus.push_back(&cpu);
+    rig.caches.push_back(&cache);
+    if (!ordering_mode.empty()) {
+      auto& ord = rig.nl.make<OrderingCtl>(
+          "ord" + std::to_string(i),
+          params({{"mode", ordering_mode}, {"drain_delay", 20}}));
+      if (out_orderings != nullptr) out_orderings[i] = &ord;
+      rig.nl.connect(cpu.out("mem_req"), ord.in("cpu_req"));
+      rig.nl.connect(ord.out("cpu_resp"), cpu.in("mem_resp"));
+      rig.nl.connect(ord.out("mem_req"), cache.in("cpu_req"));
+      rig.nl.connect(cache.out("cpu_resp"), ord.in("mem_resp"));
+    } else {
+      rig.nl.connect(cpu.out("mem_req"), cache.in("cpu_req"));
+      rig.nl.connect(cache.out("cpu_resp"), cpu.in("mem_resp"));
+    }
+    rig.nl.connect(cache.out("bus_out"), rig.bus->in("in"));
+    rig.nl.connect(rig.bus->out("out"), cache.in("bus_in"));
+  }
+  rig.nl.connect(rig.memory->out("bus_out"), rig.bus->in("in"));
+  rig.nl.connect(rig.bus->out("out"), rig.memory->in("bus_in"));
+  rig.nl.finalize();
+}
+
+/// Run until every cpu halts (or the cycle bound trips).
+template <typename CpuVec>
+std::uint64_t run_until_halted(Simulator& sim, const CpuVec& cpus,
+                               std::uint64_t max_cycles) {
+  std::uint64_t c = 0;
+  while (c < max_cycles) {
+    bool all = true;
+    for (const auto* cpu : cpus) all = all && cpu->halted();
+    if (all) break;
+    sim.step();
+    ++c;
+  }
+  return c;
+}
+
+class MplSched : public ::testing::TestWithParam<SchedulerKind> {};
+INSTANTIATE_TEST_SUITE_P(BothSchedulers, MplSched,
+                         ::testing::Values(SchedulerKind::Dynamic,
+                                           SchedulerKind::Static),
+                         [](const auto& info) {
+                           return info.param == SchedulerKind::Dynamic
+                                      ? "Dynamic"
+                                      : "Static";
+                         });
+
+TEST_P(MplSched, SnoopProducerConsumerSharesMemoryCorrectly) {
+  SnoopRig rig;
+  build_snoop_rig(rig, {assemble(workloads::producer(10, 400)),
+                        assemble(workloads::consumer(10, 400))});
+  Simulator sim(rig.nl, GetParam());
+  const auto cycles = run_until_halted(sim, rig.cpus, 100000);
+  ASSERT_TRUE(rig.cpus[0]->halted());
+  ASSERT_TRUE(rig.cpus[1]->halted());
+  ASSERT_EQ(rig.cpus[1]->output().size(), 1u);
+  EXPECT_EQ(rig.cpus[1]->output()[0], 45);  // sum 0..9
+  EXPECT_LT(cycles, 100000u);
+  // The spin/invalidate dance must have exercised the protocol.
+  EXPECT_GT(rig.caches[1]->stats().counter_value("invalidations_rx"), 0u);
+}
+
+TEST_P(MplSched, SnoopPingPongCounter) {
+  // Two cores alternately increment a shared counter until it reaches 20,
+  // using a turn flag: core i may increment when counter % 2 == i.
+  auto prog = [](int me) {
+    return assemble(
+        "  li r10, " + std::to_string(me) + "\n"
+        "  li r11, 20\n"
+        "loop:\n"
+        "  lw r1, 64(r0)\n"       // counter
+        "  bge r1, r11, done\n"
+        "  rem r2, r1, r0\n"      // placeholder (rem by zero = r1)
+        "  andi r2, r1, 1\n"
+        "  bne r2, r10, loop\n"   // not my turn
+        "  addi r1, r1, 1\n"
+        "  sw r1, 64(r0)\n"
+        "  j loop\n"
+        "done:\n"
+        "  lw r1, 64(r0)\n"
+        "  out r1\n"
+        "  halt\n");
+  };
+  SnoopRig rig;
+  build_snoop_rig(rig, {prog(0), prog(1)});
+  Simulator sim(rig.nl, GetParam());
+  run_until_halted(sim, rig.cpus, 300000);
+  ASSERT_TRUE(rig.cpus[0]->halted());
+  ASSERT_TRUE(rig.cpus[1]->halted());
+  // Both cores read the counter coherently at exit; memory itself may be
+  // stale while the last writer still holds the line in M.
+  EXPECT_GE(rig.cpus[0]->output().at(0), 20);
+  EXPECT_GE(rig.cpus[1]->output().at(0), 20);
+  // Line 64 must have migrated repeatedly.
+  EXPECT_GT(rig.caches[0]->stats().counter_value("supplies") +
+                rig.caches[1]->stats().counter_value("supplies"),
+            5u);
+}
+
+TEST(MplSnoop, FourCoresFalseSharingStillCorrect) {
+  // Four cores each increment a distinct word of the SAME line N times.
+  std::vector<Program> progs;
+  for (int i = 0; i < 4; ++i) {
+    progs.push_back(assemble(
+        "  li r2, 0\n"
+        "  li r3, 25\n"
+        "loop:\n"
+        "  lw r1, " + std::to_string(128 + i) + "(r0)\n"
+        "  addi r1, r1, 1\n"
+        "  sw r1, " + std::to_string(128 + i) + "(r0)\n"
+        "  addi r2, r2, 1\n"
+        "  blt r2, r3, loop\n"
+        "  lw r1, " + std::to_string(128 + i) + "(r0)\n"
+        "  out r1\n"
+        "  halt\n"));
+  }
+  SnoopRig rig;
+  build_snoop_rig(rig, progs);
+  Simulator sim(rig.nl);
+  run_until_halted(sim, rig.cpus, 400000);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rig.cpus[i]->halted());
+    // Only core i writes word i, so a coherent final read is exactly 25;
+    // the memory image itself may lag while a cache holds the line in M.
+    ASSERT_EQ(rig.cpus[i]->output().size(), 1u);
+    EXPECT_EQ(rig.cpus[i]->output()[0], 25) << "word " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Memory ordering: Dekker litmus
+// ---------------------------------------------------------------------------
+
+std::pair<std::int64_t, std::int64_t> run_dekker(const std::string& mode) {
+  // flag0 at 16, flag1 at 32 (different lines with line_words = 4).  Each
+  // core first warms the *other* flag's line into its cache so that the
+  // critical load can hit locally — the window in which a TSO store buffer
+  // makes the (0, 0) outcome observable.
+  const Program p0 = assemble(
+      "  lw r9, 32(r0)\n"
+      "  li r1, 1\n"
+      "  sw r1, 16(r0)\n"
+      "  lw r2, 32(r0)\n"
+      "  out r2\n"
+      "  halt\n");
+  const Program p1 = assemble(
+      "  lw r9, 16(r0)\n"
+      "  li r1, 1\n"
+      "  sw r1, 32(r0)\n"
+      "  lw r2, 16(r0)\n"
+      "  out r2\n"
+      "  halt\n");
+  SnoopRig rig;
+  OrderingCtl* ords[2] = {nullptr, nullptr};
+  build_snoop_rig(rig, {p0, p1}, ords, mode);
+  Simulator sim(rig.nl);
+  run_until_halted(sim, rig.cpus, 50000);
+  EXPECT_TRUE(rig.cpus[0]->halted());
+  EXPECT_TRUE(rig.cpus[1]->halted());
+  return {rig.cpus[0]->output().at(0), rig.cpus[1]->output().at(0)};
+}
+
+TEST(MplOrdering, DekkerForbiddenUnderSc) {
+  const auto [r0, r1] = run_dekker("sc");
+  EXPECT_FALSE(r0 == 0 && r1 == 0)
+      << "SC must not allow both loads to miss both stores";
+}
+
+TEST(MplOrdering, DekkerObservableUnderTso) {
+  const auto [r0, r1] = run_dekker("tso");
+  // Symmetric cores with store buffers: both loads bypass the buffered
+  // stores and read 0 — the canonical TSO relaxation.
+  EXPECT_EQ(r0, 0);
+  EXPECT_EQ(r1, 0);
+}
+
+TEST(MplOrdering, TsoForwardsOwnStores) {
+  // A core must still see its *own* store (store->load forwarding).
+  const Program p = assemble(
+      "  li r1, 7\n"
+      "  sw r1, 16(r0)\n"
+      "  lw r2, 16(r0)\n"
+      "  out r2\n"
+      "  halt\n");
+  SnoopRig rig;
+  OrderingCtl* ords[1] = {nullptr};
+  build_snoop_rig(rig, {p}, ords, "tso");
+  Simulator sim(rig.nl);
+  run_until_halted(sim, rig.cpus, 10000);
+  EXPECT_EQ(rig.cpus[0]->output().at(0), 7);
+  EXPECT_GT(ords[0]->stats().counter_value("forwards"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Directory coherence over a mesh
+// ---------------------------------------------------------------------------
+
+struct DirRig {
+  Netlist nl;
+  liberty::ccl::Fabric mesh;
+  std::vector<SimpleCpu*> cpus;
+  std::vector<DirCache*> caches;
+  DirectoryCtl* dir = nullptr;
+};
+
+void build_dir_rig(DirRig& rig, const std::vector<Program>& programs,
+                   std::size_t home_node) {
+  rig.mesh = liberty::ccl::build_mesh(rig.nl, "mesh", 2, 2);
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    auto& cpu = rig.nl.make<SimpleCpu>("cpu" + std::to_string(i), Params());
+    auto& cache = rig.nl.make<DirCache>(
+        "l1_" + std::to_string(i),
+        params({{"id", static_cast<int>(i)}, {"sets", 8}, {"ways", 2},
+                {"line_words", 4},
+                {"home0", static_cast<int>(home_node)}}));
+    auto& ni = rig.nl.make<FabricAdapter>(
+        "ni" + std::to_string(i),
+        params({{"id", static_cast<int>(i)}, {"vcs", 1}}));
+    cpu.set_program(programs[i]);
+    rig.cpus.push_back(&cpu);
+    rig.caches.push_back(&cache);
+    rig.nl.connect(cpu.out("mem_req"), cache.in("cpu_req"));
+    rig.nl.connect(cache.out("cpu_resp"), cpu.in("mem_resp"));
+    rig.nl.connect(cache.out("msg_out"), ni.in("msg_in"));
+    rig.nl.connect(ni.out("msg_out"), cache.in("msg_in"));
+    rig.nl.connect_at(ni.out("net_out"), 0, rig.mesh.inject_port(i), 0);
+    rig.nl.connect_at(rig.mesh.eject_port(i), 0, ni.in("net_in"), 0);
+  }
+  rig.dir = &rig.nl.make<DirectoryCtl>(
+      "dir", params({{"id", static_cast<int>(home_node)},
+                     {"home0", static_cast<int>(home_node)},
+                     {"line_words", 4}, {"latency", 6}}));
+  auto& ni = rig.nl.make<FabricAdapter>(
+      "ni_dir",
+      params({{"id", static_cast<int>(home_node)}, {"vcs", 1}}));
+  rig.nl.connect(rig.dir->out("msg_out"), ni.in("msg_in"));
+  rig.nl.connect(ni.out("msg_out"), rig.dir->in("msg_in"));
+  rig.nl.connect_at(ni.out("net_out"), 0, rig.mesh.inject_port(home_node), 0);
+  rig.nl.connect_at(rig.mesh.eject_port(home_node), 0, ni.in("net_in"), 0);
+  rig.nl.finalize();
+}
+
+TEST_P(MplSched, DirectoryProducerConsumerOverMesh) {
+  DirRig rig;
+  build_dir_rig(rig, {assemble(workloads::producer(10, 400)),
+                      assemble(workloads::consumer(10, 400))},
+                /*home_node=*/3);
+  Simulator sim(rig.nl, GetParam());
+  const auto cycles = run_until_halted(sim, rig.cpus, 300000);
+  ASSERT_TRUE(rig.cpus[0]->halted());
+  ASSERT_TRUE(rig.cpus[1]->halted());
+  EXPECT_EQ(rig.cpus[1]->output().at(0), 45);
+  EXPECT_LT(cycles, 300000u);
+  EXPECT_GT(rig.dir->stats().counter_value("invs"), 0u);
+  EXPECT_GT(rig.dir->stats().counter_value("fetches"), 0u);
+}
+
+TEST(MplDirectory, WritebackOnEvictionReachesHome) {
+  // One core writes many distinct lines (more than the cache holds) and
+  // halts; dirty evictions must land in the directory's memory.
+  const Program p = assemble(
+      "  li r1, 0\n"
+      "  li r2, 40\n"
+      "loop:\n"
+      "  slli r3, r1, 2\n"        // addr = i * 4 (one word per line)
+      "  addi r4, r1, 1000\n"
+      "  sw r4, 0(r3)\n"
+      "  addi r1, r1, 1\n"
+      "  blt r1, r2, loop\n"
+      "  halt\n");
+  DirRig rig;
+  build_dir_rig(rig, {p}, 3);
+  Simulator sim(rig.nl);
+  run_until_halted(sim, rig.cpus, 300000);
+  ASSERT_TRUE(rig.cpus[0]->halted());
+  EXPECT_GT(rig.caches[0]->stats().counter_value("writebacks"), 0u);
+  // Spot-check some values that must have been written back (cache holds
+  // 16 lines; the first lines written were evicted).
+  std::uint64_t written_back = 0;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    if (rig.dir->peek(i * 4) == static_cast<std::int64_t>(i) + 1000) {
+      ++written_back;
+    }
+  }
+  EXPECT_GE(written_back, 20u);
+}
+
+// ---------------------------------------------------------------------------
+// DMA message passing
+// ---------------------------------------------------------------------------
+
+TEST_P(MplSched, DmaTransfersMemoryBetweenNodes) {
+  Netlist nl;
+  auto& mem_a = nl.make<liberty::pcl::MemoryArray>(
+      "mem_a", params({{"latency", 2}}));
+  auto& mem_b = nl.make<liberty::pcl::MemoryArray>(
+      "mem_b", params({{"latency", 2}}));
+  auto& dma_a = nl.make<DmaCtl>("dma_a", params({{"chunk_words", 4}}));
+  auto& dma_b = nl.make<DmaCtl>("dma_b", params({{"chunk_words", 4}}));
+  nl.connect(dma_a.out("mem_req"), mem_a.in("req"));
+  nl.connect(mem_a.out("resp"), dma_a.in("mem_resp"));
+  nl.connect(dma_b.out("mem_req"), mem_b.in("req"));
+  nl.connect(mem_b.out("resp"), dma_b.in("mem_resp"));
+  nl.connect(dma_a.out("net_out"), dma_b.in("net_in"));
+  nl.connect(dma_b.out("net_out"), dma_a.in("net_in"));
+  nl.finalize();
+
+  for (int i = 0; i < 10; ++i) {
+    mem_a.poke(100 + static_cast<std::uint64_t>(i), i * 11);
+  }
+  dma_a.start_transfer(100, /*dst_node=*/1, 200, 10);
+
+  Simulator sim(nl, GetParam());
+  for (int i = 0; i < 5000 && !dma_b.rx_done(); ++i) sim.step();
+  ASSERT_TRUE(dma_b.rx_done());
+  EXPECT_FALSE(dma_a.tx_busy());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(mem_b.peek(200 + static_cast<std::uint64_t>(i)), i * 11);
+  }
+  EXPECT_EQ(dma_b.rx_words(), 10u);
+}
+
+TEST(MplDma, MmioRegisterInterfaceDrivesTransfer) {
+  Netlist nl;
+  auto& mem_a = nl.make<liberty::pcl::MemoryArray>(
+      "mem_a", params({{"latency", 1}}));
+  auto& mem_b = nl.make<liberty::pcl::MemoryArray>(
+      "mem_b", params({{"latency", 1}}));
+  auto& dma_a = nl.make<DmaCtl>("dma_a", Params());
+  auto& dma_b = nl.make<DmaCtl>("dma_b", Params());
+  nl.connect(dma_a.out("mem_req"), mem_a.in("req"));
+  nl.connect(mem_a.out("resp"), dma_a.in("mem_resp"));
+  nl.connect(dma_b.out("mem_req"), mem_b.in("req"));
+  nl.connect(mem_b.out("resp"), dma_b.in("mem_resp"));
+  nl.connect(dma_a.out("net_out"), dma_b.in("net_in"));
+  nl.connect(dma_b.out("net_out"), dma_a.in("net_in"));
+  nl.finalize();
+
+  mem_a.poke(50, 777);
+  // Program through the register block the way firmware would.
+  dma_a.mmio_write(0, 50);   // src
+  dma_a.mmio_write(1, 1);    // dst node
+  dma_a.mmio_write(2, 60);   // dst addr
+  dma_a.mmio_write(3, 1);    // length
+  dma_a.mmio_write(4, 1);    // go
+  EXPECT_EQ(dma_a.mmio_read(4), 1);  // busy
+
+  Simulator sim(nl);
+  for (int i = 0; i < 1000 && dma_b.mmio_read(6) == 0; ++i) sim.step();
+  EXPECT_EQ(dma_b.mmio_read(6), 1);
+  EXPECT_EQ(mem_b.peek(60), 777);
+  dma_b.mmio_write(6, 0);  // clear
+  EXPECT_EQ(dma_b.mmio_read(6), 0);
+}
+
+}  // namespace

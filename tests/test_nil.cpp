@@ -1,0 +1,247 @@
+// NIL: Ethernet framing, fabric adapter, and the Tigon-2-style programmable
+// NIC running LRISC firmware.
+#include <gtest/gtest.h>
+
+#include "liberty/ccl/ccl.hpp"
+#include "liberty/core/simulator.hpp"
+#include "liberty/nil/nil.hpp"
+#include "liberty/pcl/pcl.hpp"
+#include "liberty/upl/upl.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using liberty::Payload;
+using liberty::Value;
+using liberty::core::Netlist;
+using liberty::core::Params;
+using liberty::core::SchedulerKind;
+using liberty::core::Simulator;
+using namespace liberty::nil;
+using liberty::test::params;
+
+// ---------------------------------------------------------------------------
+// CRC / framing
+// ---------------------------------------------------------------------------
+
+TEST(NilEthernet, Crc32KnownProperties) {
+  EXPECT_EQ(crc32({}), 0x0u ^ crc32({}));  // deterministic
+  EXPECT_NE(crc32({1, 2, 3}), crc32({3, 2, 1}));
+  EXPECT_NE(crc32({0}), crc32({}));
+  EXPECT_EQ(crc32({42, 7}), crc32({42, 7}));
+}
+
+TEST(NilEthernet, FrameFcsDetectsCorruption) {
+  auto frame = EthFrame::make(1, 2, {10, 20, 30});
+  EXPECT_TRUE(frame->fcs_ok());
+  EthFrame corrupted(*frame);
+  corrupted.payload[1] ^= 0x4;
+  EXPECT_FALSE(corrupted.fcs_ok());
+}
+
+// ---------------------------------------------------------------------------
+// FabricAdapter: messages over a CCL mesh
+// ---------------------------------------------------------------------------
+
+TEST(NilAdapter, RoundTripsRoutableMessagesOverMesh) {
+  Netlist nl;
+  auto mesh = liberty::ccl::build_mesh(nl, "mesh", 2, 2);
+  // Node 0 sends EthFrames (Routable by dst mac) to node 3 through
+  // adapters on both sides.
+  auto& tx = nl.make<FabricAdapter>("tx", params({{"id", 0}, {"vcs", 1}}));
+  auto& rx = nl.make<FabricAdapter>("rx", params({{"id", 3}, {"vcs", 1}}));
+  auto& src = nl.make<liberty::pcl::Source>(
+      "src", params({{"kind", "token"}, {"period", 3}, {"count", 8}}));
+  auto& fm = nl.make<liberty::pcl::FuncMap>("fm", Params());
+  auto& sink = nl.make<liberty::pcl::Sink>("sink", Params());
+  std::int64_t seq = 0;
+  fm.set_fn([&seq](const Value&) {
+    return Value(std::static_pointer_cast<const Payload>(
+        EthFrame::make(0, 3, {seq++, 99})));
+  });
+  nl.connect(src.out("out"), fm.in("in"));
+  nl.connect(fm.out("out"), tx.in("msg_in"));
+  nl.connect_at(tx.out("net_out"), 0, mesh.inject_port(0), 0);
+  nl.connect_at(mesh.eject_port(3), 0, rx.in("net_in"), 0);
+  nl.connect(rx.out("msg_out"), sink.in("in"));
+  nl.finalize();
+
+  std::vector<std::int64_t> seen;
+  sink.set_consume_hook([&seen](const Value& v, liberty::core::Cycle) {
+    const auto f = v.as<EthFrame>();
+    EXPECT_TRUE(f->fcs_ok());
+    seen.push_back(f->payload[0]);
+  });
+  Simulator sim(nl);
+  sim.run(400);
+  ASSERT_EQ(seen.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Programmable NIC: firmware-driven TX and RX
+// ---------------------------------------------------------------------------
+
+/// Rig: host memory + programmable NIC; the "wire" loops TX back into RX
+/// through a gate (so we can also test CRC drops).
+struct NicRig {
+  Netlist nl;
+  liberty::pcl::MemoryArray* host_mem = nullptr;
+  ProgrammableNic nic;
+  liberty::core::Connection* wire = nullptr;
+};
+
+void build_nic_rig(NicRig& rig, bool loopback) {
+  rig.host_mem = &rig.nl.make<liberty::pcl::MemoryArray>(
+      "host_mem", params({{"latency", 1}, {"mshrs", 4}, {"ports", 2}}));
+  rig.nic = build_programmable_nic(rig.nl, "nic", /*mac=*/5);
+  // Firmware core and assist DMA share the host memory (multi-master).
+  rig.nl.connect_at(rig.nic.core->out("mem_req"), 0,
+                    rig.host_mem->in("req"), 0);
+  rig.nl.connect_at(rig.host_mem->out("resp"), 0,
+                    rig.nic.core->in("mem_resp"), 0);
+  rig.nl.connect_at(rig.nic.assist->out("host_req"), 0,
+                    rig.host_mem->in("req"), 1);
+  rig.nl.connect_at(rig.host_mem->out("resp"), 1,
+                    rig.nic.assist->in("host_resp"), 0);
+  if (loopback) {
+    rig.wire = &rig.nl.connect(rig.nic.assist->out("net_tx"),
+                               rig.nic.assist->in("net_rx"));
+  }
+  rig.nl.finalize();
+}
+
+TEST(NilNic, FirmwareTransmitsFromTxRingAndReceivesIntoRxRing) {
+  NicRig rig;
+  build_nic_rig(rig, /*loopback=*/true);
+  const NicFirmwareConfig cfg;
+
+  // Host: payload at 100.. ; TX descriptor 0 = [100, 4, ready, dst=5].
+  for (int i = 0; i < 4; ++i) {
+    rig.host_mem->poke(100 + static_cast<std::uint64_t>(i), 1000 + i);
+  }
+  const auto tx0 = static_cast<std::uint64_t>(cfg.tx_ring);
+  rig.host_mem->poke(tx0 + 0, 100);
+  rig.host_mem->poke(tx0 + 1, 4);
+  rig.host_mem->poke(tx0 + 3, 5);  // loopback: to our own MAC
+  // RX descriptor 0: free buffer at 300.
+  const auto rx0 = static_cast<std::uint64_t>(cfg.rx_ring);
+  rig.host_mem->poke(rx0 + 0, 300);
+  rig.host_mem->poke(rx0 + 2, 1);  // free
+  rig.host_mem->poke(tx0 + 2, 1);  // TX ready — firmware may start
+
+  Simulator sim(rig.nl);
+  // Run until the RX descriptor is completed by the firmware.
+  for (int i = 0; i < 20000 && rig.host_mem->peek(rx0 + 2) != 2; ++i) {
+    sim.step();
+  }
+  EXPECT_EQ(rig.host_mem->peek(tx0 + 2), 2) << "TX descriptor not completed";
+  ASSERT_EQ(rig.host_mem->peek(rx0 + 2), 2) << "RX descriptor not completed";
+  EXPECT_EQ(rig.host_mem->peek(rx0 + 1), 4);  // received length
+  EXPECT_EQ(rig.host_mem->peek(rx0 + 3), 5);  // source MAC
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rig.host_mem->peek(300 + static_cast<std::uint64_t>(i)),
+              1000 + i);
+  }
+  EXPECT_EQ(rig.nic.assist->stats().counter_value("tx_frames"), 1u);
+  EXPECT_EQ(rig.nic.assist->stats().counter_value("rx_frames"), 1u);
+}
+
+TEST(NilNic, MultipleDescriptorsFlowThroughTheRing) {
+  NicRig rig;
+  build_nic_rig(rig, /*loopback=*/true);
+  const NicFirmwareConfig cfg;
+  const auto tx0 = static_cast<std::uint64_t>(cfg.tx_ring);
+  const auto rx0 = static_cast<std::uint64_t>(cfg.rx_ring);
+
+  constexpr int kFrames = 3;
+  for (int d = 0; d < kFrames; ++d) {
+    const auto base = 100 + static_cast<std::uint64_t>(d) * 16;
+    for (int i = 0; i < 2; ++i) {
+      rig.host_mem->poke(base + static_cast<std::uint64_t>(i),
+                         100 * d + i);
+    }
+    rig.host_mem->poke(tx0 + static_cast<std::uint64_t>(d) * 4 + 0,
+                       static_cast<std::int64_t>(base));
+    rig.host_mem->poke(tx0 + static_cast<std::uint64_t>(d) * 4 + 1, 2);
+    rig.host_mem->poke(tx0 + static_cast<std::uint64_t>(d) * 4 + 3, 5);
+    rig.host_mem->poke(rx0 + static_cast<std::uint64_t>(d) * 4 + 0,
+                       400 + d * 8);
+    rig.host_mem->poke(rx0 + static_cast<std::uint64_t>(d) * 4 + 2, 1);
+    rig.host_mem->poke(tx0 + static_cast<std::uint64_t>(d) * 4 + 2, 1);
+  }
+
+  Simulator sim(rig.nl);
+  const auto last_rx = rx0 + (kFrames - 1) * 4 + 2;
+  for (int i = 0; i < 60000 && rig.host_mem->peek(last_rx) != 2; ++i) {
+    sim.step();
+  }
+  for (int d = 0; d < kFrames; ++d) {
+    EXPECT_EQ(rig.host_mem->peek(rx0 + static_cast<std::uint64_t>(d) * 4 + 2),
+              2)
+        << "rx desc " << d;
+    EXPECT_EQ(rig.host_mem->peek(400 + static_cast<std::uint64_t>(d) * 8),
+              100 * d);
+  }
+  EXPECT_EQ(rig.nic.assist->stats().counter_value("tx_frames"),
+            static_cast<std::uint64_t>(kFrames));
+}
+
+TEST(NilNic, CorruptedFramesAreDroppedByFcs) {
+  NicRig rig;
+  build_nic_rig(rig, /*loopback=*/true);
+  const NicFirmwareConfig cfg;
+  const auto tx0 = static_cast<std::uint64_t>(cfg.tx_ring);
+
+  // Corrupt every frame on the wire: flip a payload word.
+  rig.wire->set_transfer_gate([](const Value&) { return true; });
+  // The gate cannot mutate; instead use a FuncMap-free approach: corrupt by
+  // replacing the frame mid-flight is not possible on a connection, so we
+  // instead check the CRC machinery directly through the assist by sending
+  // a bad frame via a second rig below.  Here just confirm good frames
+  // pass.
+  rig.host_mem->poke(100, 7);
+  rig.host_mem->poke(tx0 + 0, 100);
+  rig.host_mem->poke(tx0 + 1, 1);
+  rig.host_mem->poke(tx0 + 3, 5);
+  rig.host_mem->poke(tx0 + 2, 1);
+  Simulator sim(rig.nl);
+  for (int i = 0;
+       i < 20000 && rig.nic.assist->stats().counter_value("rx_frames") == 0;
+       ++i) {
+    sim.step();
+  }
+  EXPECT_EQ(rig.nic.assist->stats().counter_value("crc_errors"), 0u);
+  EXPECT_EQ(rig.nic.assist->stats().counter_value("rx_frames"), 1u);
+}
+
+TEST(NilNic, AssistRejectsBadFcsFrames) {
+  // Drive a hand-corrupted frame straight into an assist.
+  Netlist nl;
+  Params ap;
+  ap.set("mac", 9);
+  auto& assist = nl.make<NicAssist>("assist", ap);
+  auto& src = nl.make<liberty::pcl::Source>(
+      "src", params({{"kind", "token"}, {"period", 1}, {"count", 2}}));
+  auto& fm = nl.make<liberty::pcl::FuncMap>("fm", Params());
+  int n = 0;
+  fm.set_fn([&n](const Value&) {
+    auto good = EthFrame::make(1, 9, {5, 6});
+    if (n++ == 0) {
+      return Value(std::static_pointer_cast<const Payload>(good));
+    }
+    auto bad = std::make_shared<EthFrame>(*good);
+    bad->payload[0] ^= 1;  // FCS now wrong
+    return Value(std::static_pointer_cast<const Payload>(
+        std::shared_ptr<const EthFrame>(std::move(bad))));
+  });
+  nl.connect(src.out("out"), fm.in("in"));
+  nl.connect(fm.out("out"), assist.in("net_rx"));
+  nl.finalize();
+  Simulator sim(nl);
+  sim.run(20);
+  EXPECT_EQ(assist.stats().counter_value("rx_frames"), 1u);
+  EXPECT_EQ(assist.stats().counter_value("crc_errors"), 1u);
+}
+
+}  // namespace

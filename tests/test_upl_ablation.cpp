@@ -1,0 +1,126 @@
+// Microarchitectural ablations: parameter changes must move timing in the
+// physically sensible direction while never changing architectural results.
+#include <gtest/gtest.h>
+
+#include "liberty/core/simulator.hpp"
+#include "liberty/upl/upl.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using liberty::core::Netlist;
+using liberty::core::Params;
+using liberty::core::SchedulerKind;
+using liberty::core::Simulator;
+using namespace liberty::upl;
+using liberty::test::params;
+
+struct OooOut {
+  std::uint64_t cycles = 0;
+  std::vector<std::int64_t> output;
+};
+
+OooOut run_ooo(const Program& prog, const Params& p) {
+  Netlist nl;
+  auto& core = nl.make<OoOCore>("ooo", p);
+  core.set_program(prog);
+  nl.finalize();
+  Simulator sim(nl);
+  sim.run(3'000'000);
+  EXPECT_TRUE(core.done());
+  return OooOut{core.stats().counter_value("cycles"), core.output()};
+}
+
+TEST(OooAblation, MispredictPenaltyCostsCycles) {
+  const Program prog = assemble(workloads::sieve(120));
+  const OooOut cheap = run_ooo(
+      prog, params({{"mispredict_penalty", 1}, {"predictor", "not_taken"}}));
+  const OooOut costly = run_ooo(
+      prog, params({{"mispredict_penalty", 30}, {"predictor", "not_taken"}}));
+  EXPECT_EQ(cheap.output, costly.output);
+  EXPECT_GT(costly.cycles, cheap.cycles);
+}
+
+TEST(OooAblation, BetterPredictorSavesCycles) {
+  const Program prog = assemble(workloads::sieve(120));
+  const OooOut nt = run_ooo(
+      prog, params({{"predictor", "not_taken"}, {"mispredict_penalty", 12}}));
+  const OooOut gs = run_ooo(
+      prog, params({{"predictor", "gshare"}, {"mispredict_penalty", 12}}));
+  EXPECT_EQ(nt.output, gs.output);
+  EXPECT_LT(gs.cycles, nt.cycles);
+}
+
+TEST(OooAblation, SlowerMemoryHurtsPointerChase) {
+  const Program prog = assemble(workloads::pointer_chase(64, 8, 300));
+  const OooOut fast = run_ooo(
+      prog, params({{"load_miss", 10}, {"dcache_sets", 2},
+                    {"dcache_ways", 1}}));
+  const OooOut slow = run_ooo(
+      prog, params({{"load_miss", 120}, {"dcache_sets", 2},
+                    {"dcache_ways", 1}}));
+  EXPECT_EQ(fast.output, slow.output);
+  EXPECT_GT(slow.cycles, fast.cycles * 2);
+}
+
+TEST(OooAblation, RobCapacityBoundsOutstandingWork) {
+  const Program prog = assemble(workloads::matmul(6));
+  const OooOut small = run_ooo(prog, params({{"rob", 4}, {"window", 4}}));
+  const OooOut big = run_ooo(prog, params({{"rob", 128}, {"window", 64}}));
+  EXPECT_EQ(small.output, big.output);
+  EXPECT_GT(small.cycles, big.cycles);
+}
+
+// ---------------------------------------------------------------------------
+// Structural pipeline ablations
+// ---------------------------------------------------------------------------
+
+struct PipeOut {
+  std::uint64_t cycles = 0;
+  std::vector<std::int64_t> output;
+};
+
+PipeOut run_pipe(const Program& prog, const Params& p) {
+  Netlist nl;
+  InorderCore core = build_inorder_core(nl, "cpu", prog, p);
+  auto& l1 = nl.make<CacheModule>(
+      "l1", params({{"sets", 16}, {"ways", 2}, {"line_words", 4}}));
+  auto& mem = nl.make<MemoryCtl>("mem", params({{"latency", 10}}));
+  nl.connect(core.mem->out("dreq"), l1.in("cpu_req"));
+  nl.connect(l1.out("cpu_resp"), core.mem->in("dresp"));
+  nl.connect(l1.out("mem_req"), mem.in("req"));
+  nl.connect(mem.out("resp"), l1.in("mem_resp"));
+  nl.finalize();
+  Simulator sim(nl, SchedulerKind::Static);
+  const auto cycles = sim.run(2'000'000);
+  EXPECT_TRUE(core.state->halted);
+  return PipeOut{cycles, core.state->output};
+}
+
+TEST(PipelineAblation, DivLatencyShowsInDivHeavyCode) {
+  // A loop dominated by division.
+  const Program prog = assemble(
+      "  li r1, 1000000\n"
+      "  li r2, 7\n"
+      "  li r3, 0\n"
+      "loop:\n"
+      "  div r1, r1, r2\n"
+      "  addi r3, r3, 1\n"
+      "  bne r1, r0, loop\n"
+      "  out r3\n"
+      "  halt\n");
+  const PipeOut fast = run_pipe(prog, params({{"div_latency", 2}}));
+  const PipeOut slow = run_pipe(prog, params({{"div_latency", 40}}));
+  EXPECT_EQ(fast.output, slow.output);
+  EXPECT_GT(slow.cycles, fast.cycles);
+}
+
+TEST(PipelineAblation, MulLatencyIrrelevantWithoutMuls) {
+  const Program prog = assemble(workloads::sum_loop(150));
+  const PipeOut a = run_pipe(prog, params({{"mul_latency", 1}}));
+  const PipeOut b = run_pipe(prog, params({{"mul_latency", 50}}));
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.cycles, b.cycles);  // no mul in the workload
+}
+
+}  // namespace

@@ -1,0 +1,326 @@
+// LRISC ISA: assembler, emulator, predictors, cache model.
+#include <gtest/gtest.h>
+
+#include "liberty/upl/isa.hpp"
+#include "liberty/upl/predictors.hpp"
+#include "liberty/upl/cache.hpp"
+#include "liberty/upl/workloads.hpp"
+#include "liberty/support/error.hpp"
+
+namespace {
+
+using namespace liberty::upl;
+
+// ---------------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------------
+
+TEST(Assembler, BasicProgramAssembles) {
+  const Program p = assemble(R"(
+    ; compute 2 + 3
+    li r1, 2
+    li r2, 3
+    add r3, r1, r2
+    out r3
+    halt
+  )");
+  ASSERT_EQ(p.code.size(), 5u);
+  EXPECT_EQ(p.code[2].op, Op::Add);
+  EXPECT_EQ(p.code[2].rd, 3);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  const Program p = assemble(R"(
+    j skip
+    halt
+    skip:
+    beq r0, r0, end
+    nop
+    end:
+    halt
+  )");
+  EXPECT_EQ(p.code[0].imm, 2);  // skip
+  EXPECT_EQ(p.code[2].imm, 4);  // end
+}
+
+TEST(Assembler, MemoryOperandsAndDataDirective) {
+  const Program p = assemble(R"(
+    .word 10, 42
+    lw r1, 10(r0)
+    sw r1, -2(r5)
+    halt
+  )");
+  EXPECT_EQ(p.data.at(10), 42);
+  EXPECT_EQ(p.code[0].imm, 10);
+  EXPECT_EQ(p.code[1].imm, -2);
+  EXPECT_EQ(p.code[1].rs1, 5);
+  EXPECT_EQ(p.code[1].rs2, 1);
+}
+
+TEST(Assembler, HexImmediates) {
+  const Program p = assemble("li r1, 0x10\nhalt\n");
+  EXPECT_EQ(p.code[0].imm, 16);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nbogus r1, r2\n", "prog.s");
+    FAIL() << "expected SpecError";
+  } catch (const liberty::SpecError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+  EXPECT_THROW(assemble("add r1, r2\n"), liberty::SpecError);      // arity
+  EXPECT_THROW(assemble("add r1, r2, r40\n"), liberty::SpecError); // reg range
+  EXPECT_THROW(assemble("j nowhere\n"), liberty::SpecError);       // label
+  EXPECT_THROW(assemble("x: x: nop\n"), liberty::SpecError);       // dup label
+}
+
+// ---------------------------------------------------------------------------
+// Emulator semantics
+// ---------------------------------------------------------------------------
+
+TEST(Emulator, ArithmeticAndShifts) {
+  const Program p = assemble(R"(
+    li r1, 7
+    li r2, 3
+    add r3, r1, r2
+    sub r4, r1, r2
+    mul r5, r1, r2
+    div r6, r1, r2
+    rem r7, r1, r2
+    sll r8, r1, r2
+    slt r9, r2, r1
+    out r3
+    out r4
+    out r5
+    out r6
+    out r7
+    out r8
+    out r9
+    halt
+  )");
+  ArchState st(p);
+  st.run();
+  const std::vector<std::int64_t> expect = {10, 4, 21, 2, 1, 56, 1};
+  EXPECT_EQ(st.output(), expect);
+}
+
+TEST(Emulator, R0IsHardwiredZero) {
+  const Program p = assemble("li r0, 99\nout r0\nhalt\n");
+  ArchState st(p);
+  st.run();
+  ASSERT_EQ(st.output().size(), 1u);
+  EXPECT_EQ(st.output()[0], 0);
+}
+
+TEST(Emulator, LoadsAndStores) {
+  const Program p = assemble(R"(
+    li r1, 123
+    sw r1, 50(r0)
+    lw r2, 50(r0)
+    out r2
+    halt
+  )");
+  ArchState st(p);
+  st.run();
+  EXPECT_EQ(st.output().at(0), 123);
+  EXPECT_EQ(st.load(50), 123);
+}
+
+TEST(Emulator, JalLinksAndJalrReturns) {
+  const Program p = assemble(R"(
+      jal r31, func
+      out r1
+      halt
+    func:
+      li r1, 77
+      jalr r0, r31
+  )");
+  ArchState st(p);
+  st.run();
+  EXPECT_EQ(st.output().at(0), 77);
+}
+
+TEST(Emulator, DivisionByZeroIsDefined) {
+  const Program p = assemble(R"(
+    li r1, 5
+    div r2, r1, r0
+    rem r3, r1, r0
+    out r2
+    out r3
+    halt
+  )");
+  ArchState st(p);
+  st.run();
+  EXPECT_EQ(st.output().at(0), -1);  // div by zero -> -1
+  EXPECT_EQ(st.output().at(1), 5);   // rem by zero -> dividend
+}
+
+// ---------------------------------------------------------------------------
+// Workload correctness on the emulator (the golden results every timing
+// model must reproduce)
+// ---------------------------------------------------------------------------
+
+TEST(Workloads, SumLoop) {
+  ArchState st(assemble(workloads::sum_loop(100)));
+  st.run();
+  EXPECT_EQ(st.output().at(0), 5050);
+}
+
+TEST(Workloads, Fibonacci) {
+  ArchState st(assemble(workloads::fibonacci(20)));
+  st.run();
+  EXPECT_EQ(st.output().at(0), 6765);
+}
+
+TEST(Workloads, ArraySum) {
+  ArchState st(assemble(workloads::array_sum(50)));
+  st.run();
+  EXPECT_EQ(st.output().at(0), 50 * 49 / 2);
+}
+
+TEST(Workloads, Sieve) {
+  ArchState st(assemble(workloads::sieve(100)));
+  st.run();
+  EXPECT_EQ(st.output().at(0), 25);  // 25 primes <= 100
+}
+
+TEST(Workloads, Matmul) {
+  ArchState st(assemble(workloads::matmul(4)));
+  st.run(200000);
+  // A[i][j]=i+j, B[i][j]=i-j, C=A*B.  C[0][0] = sum_k k*k... check by hand:
+  // C[0][0] = sum_k (0+k)*(k-0) = 0+1+4+9 = 14.
+  EXPECT_EQ(st.output().at(0), 14);
+  // C[3][3] = sum_k (3+k)*(k-3) = -9 + -8 + -5 + 0 = -22.
+  EXPECT_EQ(st.output().at(1), -22);
+}
+
+TEST(Workloads, PointerChaseReturnsRingAddress) {
+  ArchState st(assemble(workloads::pointer_chase(16, 8, 35)));
+  st.run(100000);
+  // After 35 hops around a 16-node ring starting at node 0 we are at node
+  // 35 % 16 = 3... the value OUT is the address loaded on the last hop,
+  // i.e. node (35 % 16) = 3 -> 4096 + 3*8.
+  EXPECT_EQ(st.output().at(0), 4096 + (35 % 16) * 8);
+}
+
+TEST(Workloads, ProducerConsumerHandshake) {
+  // Sequentially: producer fills, consumer sums.
+  ArchState prod(assemble(workloads::producer(10, 900)));
+  prod.run();
+  ArchState cons(assemble(workloads::consumer(10, 900)));
+  // Transplant producer memory into consumer (sequential stand-in for the
+  // shared-memory run exercised properly in the MPL tests).
+  for (int i = 0; i <= 10; ++i) {
+    cons.store(900 + static_cast<std::uint64_t>(i),
+               prod.load(900 + static_cast<std::uint64_t>(i)));
+  }
+  cons.run();
+  EXPECT_EQ(cons.output().at(0), 45);
+}
+
+// ---------------------------------------------------------------------------
+// Predictors
+// ---------------------------------------------------------------------------
+
+TEST(Predictors, BimodalLearnsABias) {
+  BimodalPredictor p(64);
+  for (int i = 0; i < 10; ++i) p.update(100, true);
+  EXPECT_TRUE(p.predict(100));
+  for (int i = 0; i < 20; ++i) p.update(100, false);
+  EXPECT_FALSE(p.predict(100));
+}
+
+TEST(Predictors, GShareLearnsAlternation) {
+  // T,N,T,N... bimodal oscillates; gshare keys on history and converges.
+  GSharePredictor g(1024);
+  bool dir = false;
+  int correct_late = 0;
+  for (int i = 0; i < 400; ++i) {
+    dir = !dir;
+    const bool pred = g.predict(7);
+    if (i >= 200 && pred == dir) ++correct_late;
+    g.update(7, dir);
+  }
+  EXPECT_GT(correct_late, 190);  // near-perfect after warmup
+}
+
+TEST(Predictors, TournamentAtLeastMatchesComponentsOnBias) {
+  TournamentPredictor t(256);
+  for (int i = 0; i < 50; ++i) t.update(3, true);
+  EXPECT_TRUE(t.predict(3));
+}
+
+TEST(Predictors, FactoryRejectsUnknownKind) {
+  EXPECT_THROW(make_predictor("magic"), liberty::ElaborationError);
+}
+
+TEST(Predictors, BtbRemembersTargets) {
+  Btb btb(16);
+  std::uint64_t t = 0;
+  EXPECT_FALSE(btb.lookup(5, t));
+  btb.insert(5, 42);
+  ASSERT_TRUE(btb.lookup(5, t));
+  EXPECT_EQ(t, 42u);
+  // Collision evicts.
+  btb.insert(5 + 16, 99);
+  EXPECT_FALSE(btb.lookup(5, t));
+}
+
+TEST(Predictors, RasIsAStack) {
+  Ras ras(4);
+  ras.push(1);
+  ras.push(2);
+  std::uint64_t a = 0;
+  ASSERT_TRUE(ras.pop(a));
+  EXPECT_EQ(a, 2u);
+  ASSERT_TRUE(ras.pop(a));
+  EXPECT_EQ(a, 1u);
+  EXPECT_FALSE(ras.pop(a));
+}
+
+// ---------------------------------------------------------------------------
+// CacheModel
+// ---------------------------------------------------------------------------
+
+TEST(CacheModelTest, HitAfterFill) {
+  CacheModel c(4, 2, 4, CacheModel::Replacement::Lru);
+  EXPECT_EQ(c.lookup(100), nullptr);
+  auto& way = c.victim(100);
+  c.fill(way, 100, false);
+  EXPECT_NE(c.lookup(100), nullptr);
+  EXPECT_NE(c.lookup(103), nullptr);  // same line (line_words = 4, base 100)
+  EXPECT_EQ(c.lookup(104), nullptr);  // next line
+}
+
+TEST(CacheModelTest, LruEvictsLeastRecentlyUsed) {
+  CacheModel c(1, 2, 1, CacheModel::Replacement::Lru);
+  c.fill(c.victim(0), 0, false);
+  c.fill(c.victim(1), 1, false);
+  (void)c.lookup(0);  // touch 0: now 1 is LRU
+  auto& v = c.victim(2);
+  EXPECT_EQ(v.tag, c.tag_of(1));
+}
+
+TEST(CacheModelTest, InvalidateRemovesLine) {
+  CacheModel c(4, 2, 4, CacheModel::Replacement::Lru);
+  c.fill(c.victim(40), 40, true);
+  EXPECT_TRUE(c.invalidate(40));
+  EXPECT_EQ(c.lookup(40), nullptr);
+  EXPECT_FALSE(c.invalidate(40));
+}
+
+TEST(CacheModelTest, AddrOfInvertsMapping) {
+  CacheModel c(8, 4, 4, CacheModel::Replacement::Lru);
+  const std::uint64_t addr = 1236;  // arbitrary
+  auto& way = c.victim(addr);
+  c.fill(way, addr, false);
+  EXPECT_EQ(c.addr_of(way, c.set_of(addr)), c.line_addr(addr));
+}
+
+TEST(CacheModelTest, GeometryValidation) {
+  EXPECT_THROW(CacheModel(0, 1, 1, CacheModel::Replacement::Lru),
+               liberty::ElaborationError);
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+// UPL memory hierarchy: CacheModule + MemoryCtl as a structural system —
+// hit/miss timing, line fills, coalescing, writebacks, replacement sweeps.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "liberty/core/simulator.hpp"
+#include "liberty/pcl/pcl.hpp"
+#include "liberty/upl/upl.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using liberty::Payload;
+using liberty::Value;
+using liberty::core::Cycle;
+using liberty::core::Netlist;
+using liberty::core::Params;
+using liberty::core::SchedulerKind;
+using liberty::core::Simulator;
+using namespace liberty::upl;
+using liberty::pcl::MemReq;
+using liberty::pcl::MemResp;
+using liberty::test::params;
+
+/// Scripted requester: issues a fixed list of MemReqs one at a time and
+/// records (tag -> data, completion cycle).
+class Requester final : public liberty::core::Module {
+ public:
+  explicit Requester(const std::string& name) : liberty::core::Module(name) {
+    req_ = &add_out("req", 0, 1);
+    resp_ = &add_in("resp", liberty::core::AckMode::AutoAccept, 0, 1);
+  }
+
+  void push_read(std::uint64_t addr, std::uint64_t tag) {
+    script_.push_back(Value::make<MemReq>(MemReq::Op::Read, addr, 0, tag));
+  }
+  void push_write(std::uint64_t addr, std::int64_t v, std::uint64_t tag) {
+    script_.push_back(Value::make<MemReq>(MemReq::Op::Write, addr, v, tag));
+  }
+
+  void cycle_start(Cycle) override {
+    if (!script_.empty() && !in_flight_) {
+      req_->send(script_.front());
+    } else {
+      req_->idle();
+    }
+  }
+  void end_of_cycle() override {
+    if (req_->transferred()) {
+      script_.pop_front();
+      in_flight_ = true;
+    }
+    if (resp_->transferred()) {
+      const auto r = resp_->data().as<MemResp>();
+      results[r->tag] = {r->data, now()};
+      in_flight_ = false;
+    }
+  }
+  void declare_deps(liberty::core::Deps& d) const override {
+    d.state_only(*req_);
+  }
+
+  [[nodiscard]] bool done() const { return script_.empty() && !in_flight_; }
+
+  struct Result {
+    std::int64_t data;
+    Cycle at;
+  };
+  std::map<std::uint64_t, Result> results;
+
+ private:
+  liberty::core::Port* req_ = nullptr;
+  liberty::core::Port* resp_ = nullptr;
+  std::deque<Value> script_;
+  bool in_flight_ = false;
+};
+
+struct MemRig {
+  Netlist nl;
+  Requester* cpu = nullptr;
+  CacheModule* l1 = nullptr;
+  MemoryCtl* mem = nullptr;
+};
+
+void build_mem_rig(MemRig& rig, const Params& cache_params,
+                   std::int64_t mem_latency = 20) {
+  rig.cpu = &rig.nl.make<Requester>("cpu");
+  rig.l1 = &rig.nl.make<CacheModule>("l1", cache_params);
+  rig.mem = &rig.nl.make<MemoryCtl>(
+      "mem", params({{"latency", mem_latency}, {"line_words", 4}}));
+  rig.nl.connect(rig.cpu->out("req"), rig.l1->in("cpu_req"));
+  rig.nl.connect(rig.l1->out("cpu_resp"), rig.cpu->in("resp"));
+  rig.nl.connect(rig.l1->out("mem_req"), rig.mem->in("req"));
+  rig.nl.connect(rig.mem->out("resp"), rig.l1->in("mem_resp"));
+}
+
+std::uint64_t run_to_done(MemRig& rig, SchedulerKind kind) {
+  rig.nl.finalize();
+  Simulator sim(rig.nl, kind);
+  std::uint64_t cycles = 0;
+  while (cycles < 100'000 && !rig.cpu->done()) {
+    sim.step();
+    ++cycles;
+  }
+  return cycles;
+}
+
+class UplMem : public ::testing::TestWithParam<SchedulerKind> {};
+INSTANTIATE_TEST_SUITE_P(BothSchedulers, UplMem,
+                         ::testing::Values(SchedulerKind::Dynamic,
+                                           SchedulerKind::Static),
+                         [](const auto& info) {
+                           return info.param == SchedulerKind::Dynamic
+                                      ? "Dynamic"
+                                      : "Static";
+                         });
+
+TEST_P(UplMem, MissThenHitLatencyGap) {
+  MemRig rig;
+  build_mem_rig(rig, params({{"sets", 4}, {"ways", 2}, {"line_words", 4},
+                             {"hit_latency", 1}}));
+  rig.mem->poke(100, 77);
+  rig.mem->poke(101, 88);
+  rig.cpu->push_read(100, 1);  // miss: fill from memory
+  rig.cpu->push_read(101, 2);  // hit: same line
+  run_to_done(rig, GetParam());
+
+  EXPECT_EQ(rig.cpu->results.at(1).data, 77);
+  EXPECT_EQ(rig.cpu->results.at(2).data, 88);
+  const auto miss_time = rig.cpu->results.at(1).at;
+  const auto hit_gap = rig.cpu->results.at(2).at - miss_time;
+  EXPECT_GT(miss_time, 20u);  // paid the memory latency
+  EXPECT_LT(hit_gap, 8u);     // second access hit in the cache
+  EXPECT_EQ(rig.l1->stats().counter_value("hits"), 1u);
+  EXPECT_EQ(rig.l1->stats().counter_value("misses"), 1u);
+}
+
+TEST_P(UplMem, WritebackOnDirtyEviction) {
+  // 1 set x 1 way: the second line evicts the first; a dirty first line
+  // must be written back and readable afterwards.
+  MemRig rig;
+  build_mem_rig(rig, params({{"sets", 1}, {"ways", 1}, {"line_words", 4},
+                             {"hit_latency", 1}}));
+  rig.cpu->push_write(0, 1234, 1);  // line 0, dirty
+  rig.cpu->push_read(4, 2);         // line 4 evicts line 0
+  rig.cpu->push_read(0, 3);         // line 0 refetched: value survives
+  run_to_done(rig, GetParam());
+
+  EXPECT_EQ(rig.cpu->results.at(3).data, 1234);
+  EXPECT_EQ(rig.l1->stats().counter_value("writebacks"), 1u);
+  EXPECT_EQ(rig.mem->peek(0), 1234);
+}
+
+TEST_P(UplMem, CleanEvictionIsSilent) {
+  MemRig rig;
+  build_mem_rig(rig, params({{"sets", 1}, {"ways", 1}, {"line_words", 4}}));
+  rig.mem->poke(0, 5);
+  rig.cpu->push_read(0, 1);
+  rig.cpu->push_read(4, 2);  // evicts clean line 0
+  run_to_done(rig, GetParam());
+  EXPECT_EQ(rig.l1->stats().counter_value("evictions"), 1u);
+  EXPECT_EQ(rig.l1->stats().counter_value("writebacks"), 0u);
+}
+
+TEST(UplMemPolicies, ReplacementSweepAllCorrect) {
+  for (const char* repl : {"lru", "fifo", "random"}) {
+    MemRig rig;
+    build_mem_rig(rig, liberty::test::params(
+                           {{"sets", 2}, {"ways", 2}, {"line_words", 4},
+                            {"replacement", repl}}));
+    // Write a working set larger than the cache, then read it all back.
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      rig.cpu->push_write(i * 4, static_cast<std::int64_t>(i) * 7, i + 1);
+    }
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      rig.cpu->push_read(i * 4, 100 + i);
+    }
+    run_to_done(rig, SchedulerKind::Static);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(rig.cpu->results.at(100 + i).data,
+                static_cast<std::int64_t>(i) * 7)
+          << "policy " << repl << " word " << i;
+    }
+    EXPECT_GT(rig.l1->stats().counter_value("writebacks"), 0u) << repl;
+  }
+}
+
+TEST(UplMemPolicies, SmallerCacheMissesMore) {
+  auto misses_with = [](int sets) {
+    MemRig rig;
+    build_mem_rig(rig, liberty::test::params(
+                           {{"sets", sets}, {"ways", 2}, {"line_words", 4}}));
+    // Cyclic sweep over 16 lines, twice.
+    std::uint64_t tag = 1;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::uint64_t line = 0; line < 16; ++line) {
+        rig.cpu->push_read(line * 4, tag++);
+      }
+    }
+    run_to_done(rig, SchedulerKind::Static);
+    return rig.l1->stats().counter_value("misses");
+  };
+  EXPECT_GT(misses_with(2), misses_with(16));
+}
+
+TEST(UplMemCtl, LineProtocolFetchAndWriteback) {
+  // Drive MemoryCtl directly with LineReq messages.
+  Netlist nl;
+  auto& mem = nl.make<MemoryCtl>(
+      "mem", params({{"latency", 3}, {"line_words", 4}}));
+  auto& src = nl.make<liberty::pcl::Source>(
+      "src", params({{"kind", "token"}, {"period", 5}, {"count", 2}}));
+  auto& fm = nl.make<liberty::pcl::FuncMap>("fm", Params());
+  auto& sink = nl.make<liberty::pcl::Sink>("sink", Params());
+  int n = 0;
+  fm.set_fn([&n](const Value&) {
+    if (n++ == 0) {
+      return Value::make<LineReq>(LineReq::Kind::Writeback, 8, 0, 0,
+                                  std::vector<std::int64_t>{9, 8, 7, 6});
+    }
+    return Value::make<LineReq>(LineReq::Kind::Fetch, 8, 42, 0);
+  });
+  nl.connect(src.out("out"), fm.in("in"));
+  nl.connect(fm.out("out"), mem.in("req"));
+  nl.connect(mem.out("resp"), sink.in("in"));
+  nl.finalize();
+
+  std::vector<std::int64_t> filled;
+  sink.set_consume_hook([&filled](const Value& v, Cycle) {
+    const auto resp = v.as<LineResp>();
+    EXPECT_EQ(resp->tag, 42u);
+    filled = resp->words;
+  });
+  Simulator sim(nl);
+  sim.run(60);
+  ASSERT_EQ(filled.size(), 4u);
+  EXPECT_EQ(filled[0], 9);
+  EXPECT_EQ(filled[3], 6);
+  EXPECT_EQ(mem.stats().counter_value("writebacks"), 1u);
+  EXPECT_EQ(mem.stats().counter_value("fetches"), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,33 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "liberty/core/netlist.hpp"
+#include "liberty/core/params.hpp"
+#include "liberty/core/registry.hpp"
+#include "liberty/core/simulator.hpp"
+#include "liberty/pcl/pcl.hpp"
+
+namespace liberty::test {
+
+/// Registry with every library available to the test registered once.
+inline liberty::core::ModuleRegistry& registry() {
+  static liberty::core::ModuleRegistry r = [] {
+    liberty::core::ModuleRegistry reg;
+    liberty::pcl::register_pcl(reg);
+    return reg;
+  }();
+  return r;
+}
+
+/// Params builder shorthand.
+inline liberty::core::Params params(
+    std::initializer_list<std::pair<const char*, liberty::Value>> kv) {
+  liberty::core::Params p;
+  for (const auto& [k, v] : kv) p.set(k, v);
+  return p;
+}
+
+}  // namespace liberty::test
