@@ -1,11 +1,20 @@
 // E8 (paper §2.3, ref [22]): fixing the model of computation makes the
 // specification analyzable — the statically scheduled simulator beats the
-// dynamic fixed-point scheduler.
+// dynamic fixed-point scheduler, and the same analysis levelizes the
+// schedule into waves the parallel scheduler runs on a worker pool (see
+// docs/scheduling.md).
 //
 // Shape expectation: static scheduling reduces react() invocations per
 // cycle substantially (it calls each handler O(1) times on acyclic
-// netlists) and wins wall-clock across netlist types; both schedulers
-// produce identical results (asserted here and across the test suite).
+// netlists) and wins wall-clock across netlist types; the parallel
+// scheduler matches static's react counts and wins additionally on wide
+// netlists when real cores are available (on a single-core host its
+// barrier overhead makes it lose — the JSON records whichever is true).
+// All schedulers produce identical results (asserted here and across the
+// test suite).
+//
+// Artifact: BENCH_scheduler.json in the working directory, one record per
+// (netlist, scheduler) with wall-clock and react-call counts.
 #include "bench_util.hpp"
 
 using namespace liberty;
@@ -34,20 +43,24 @@ void build_chains(core::Netlist& nl) {
   }
 }
 
-void build_mesh_net(core::Netlist& nl) {
-  ccl::Fabric mesh = ccl::build_mesh(nl, "mesh", 4, 4);
-  for (std::size_t i = 0; i < 16; ++i) {
+void build_mesh(core::Netlist& nl, std::size_t side) {
+  ccl::Fabric mesh = ccl::build_mesh(nl, "mesh", side, side);
+  const std::size_t nodes = side * side;
+  for (std::size_t i = 0; i < nodes; ++i) {
     auto& g = nl.make<ccl::TrafficGen>(
         "g" + std::to_string(i),
         core::Params().set("id", static_cast<std::int64_t>(i))
-            .set("nodes", 16).set("rate", 0.15).set("pattern", "uniform")
-            .set("seed", 7));
+            .set("nodes", static_cast<std::int64_t>(nodes))
+            .set("rate", 0.15).set("pattern", "uniform").set("seed", 7));
     auto& s = nl.make<ccl::TrafficSink>("k" + std::to_string(i),
                                         core::Params());
     nl.connect_at(g.out("out"), 0, mesh.inject_port(i), 0);
     nl.connect_at(mesh.eject_port(i), 0, s.in("in"), 0);
   }
 }
+
+void build_mesh_4x4(core::Netlist& nl) { build_mesh(nl, 4); }
+void build_mesh_8x8(core::Netlist& nl) { build_mesh(nl, 8); }
 
 void build_arbiters(core::Netlist& nl) {
   // Combinational-heavy: arbiter trees (lots of react() activity).
@@ -66,52 +79,107 @@ void build_arbiters(core::Netlist& nl) {
 }
 
 struct Result {
+  double wall_s = 0.0;
   double kcps = 0.0;             // kcycles per wall second
+  std::uint64_t react_calls = 0;
   double reacts_per_cycle = 0.0;
   std::uint64_t transfers = 0;
+  unsigned threads = 0;          // parallel only
+  std::uint64_t waves = 0;       // parallel only
+  std::uint64_t max_wave_width = 0;
 };
 
-Result run(void (*build)(core::Netlist&), core::SchedulerKind kind,
+Result run(void (*build)(core::Netlist&), const SchedulerSpec& spec,
            std::uint64_t cycles) {
   core::Netlist nl;
   build(nl);
   nl.finalize();
-  core::Simulator sim(nl, kind);
-  const double secs = time_seconds([&] { sim.run(cycles); });
+  core::Simulator sim(nl, spec.kind, spec.threads);
   Result r;
-  r.kcps = static_cast<double>(cycles) / 1e3 / secs;
-  r.reacts_per_cycle = static_cast<double>(sim.scheduler().react_calls()) /
+  r.wall_s = time_seconds([&] { sim.run(cycles); });
+  r.kcps = static_cast<double>(cycles) / 1e3 / r.wall_s;
+  r.react_calls = sim.scheduler().react_calls();
+  r.reacts_per_cycle = static_cast<double>(r.react_calls) /
                        static_cast<double>(cycles);
   for (const auto& c : nl.connections()) r.transfers += c->transfer_count();
+  if (auto* par =
+          dynamic_cast<core::ParallelScheduler*>(&sim.scheduler())) {
+    r.threads = par->threads();
+    r.waves = par->wave_count();
+    r.max_wave_width = par->max_wave_width();
+  }
   return r;
 }
 
 }  // namespace
 
 int main() {
-  std::printf("E8: dynamic vs static scheduling (ref [22] optimization)\n\n");
+  std::printf(
+      "E8: dynamic vs static vs parallel scheduling (ref [22] optimization)\n\n");
   const NetKind kinds[] = {{"pipelines x64", build_chains},
-                           {"mesh 4x4", build_mesh_net},
+                           {"mesh 4x4", build_mesh_4x4},
+                           {"mesh 8x8", build_mesh_8x8},
                            {"arbiter trees", build_arbiters}};
   constexpr std::uint64_t kCycles = 20'000;
+  const auto specs = scheduler_matrix();
 
-  Table t({"netlist", "dyn kc/s", "static kc/s", "speedup", "dyn react/cyc",
-           "static react/cyc"});
+  FILE* json_file = std::fopen("BENCH_scheduler.json", "w");
+  JsonWriter json(json_file);
+  json.begin_object();
+  json.field("bench", "scheduler");
+  json.field("cycles", kCycles);
+  json.begin_array("netlists");
+
+  Table t({"netlist", "dyn kc/s", "static kc/s", "par kc/s", "static/dyn",
+           "par/dyn", "dyn react/cyc", "static react/cyc"});
   for (const auto& k : kinds) {
-    const Result dyn = run(k.build, core::SchedulerKind::Dynamic, kCycles);
-    const Result sta = run(k.build, core::SchedulerKind::Static, kCycles);
-    if (dyn.transfers != sta.transfers) {
-      std::printf("ERROR: schedulers diverged on %s (%llu vs %llu)\n",
+    json.object();
+    json.field("name", k.name);
+    json.begin_array("schedulers");
+    std::vector<Result> results;
+    for (const auto& spec : specs) {
+      const Result r = run(k.build, spec, kCycles);
+      results.push_back(r);
+      json.object();
+      json.field("name", spec.label);
+      json.field("wall_s", r.wall_s);
+      json.field("kcycles_per_s", r.kcps);
+      json.field("react_calls", r.react_calls);
+      json.field("reacts_per_cycle", r.reacts_per_cycle);
+      json.field("transfers", r.transfers);
+      if (spec.kind == core::SchedulerKind::Parallel) {
+        json.field("threads", r.threads);
+        json.field("waves", r.waves);
+        json.field("max_wave_width", r.max_wave_width);
+      }
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+
+    const Result& dyn = results[0];
+    const Result& sta = results[1];
+    const Result& par = results[2];
+    if (dyn.transfers != sta.transfers || dyn.transfers != par.transfers) {
+      std::printf("ERROR: schedulers diverged on %s (%llu / %llu / %llu)\n",
                   k.name, (unsigned long long)dyn.transfers,
-                  (unsigned long long)sta.transfers);
+                  (unsigned long long)sta.transfers,
+                  (unsigned long long)par.transfers);
+      std::fclose(json_file);
       return 1;
     }
-    t.row({k.name, fmt(dyn.kcps, 1), fmt(sta.kcps, 1),
-           fmt(sta.kcps / dyn.kcps, 2), fmt(dyn.reacts_per_cycle, 2),
-           fmt(sta.reacts_per_cycle, 2)});
+    t.row({k.name, fmt(dyn.kcps, 1), fmt(sta.kcps, 1), fmt(par.kcps, 1),
+           fmt(sta.kcps / dyn.kcps, 2), fmt(par.kcps / dyn.kcps, 2),
+           fmt(dyn.reacts_per_cycle, 2), fmt(sta.reacts_per_cycle, 2)});
   }
+  json.end_array();
+  json.end_object();
+  std::fclose(json_file);
+
   t.print();
   std::printf("\nshape check: identical results; static scheduling reduces "
-              "handler invocations and wins wall-clock.\n");
+              "handler invocations and wins wall-clock; parallel adds "
+              "speedup only when hardware threads are available.\n"
+              "wrote BENCH_scheduler.json\n");
   return 0;
 }

@@ -32,6 +32,23 @@ inline core::ModuleRegistry& registry() {
   return r;
 }
 
+/// One column of a scheduler comparison matrix.  `threads` applies to the
+/// parallel scheduler only (0 = hardware concurrency).
+struct SchedulerSpec {
+  std::string label;
+  core::SchedulerKind kind;
+  unsigned threads = 0;
+};
+
+/// The standard comparison matrix: dynamic baseline, static sequential,
+/// wave-parallel at `parallel_threads`.
+inline std::vector<SchedulerSpec> scheduler_matrix(
+    unsigned parallel_threads = 0) {
+  return {{"dynamic", core::SchedulerKind::Dynamic, 0},
+          {"static", core::SchedulerKind::Static, 0},
+          {"parallel", core::SchedulerKind::Parallel, parallel_threads}};
+}
+
 /// Wall-clock seconds for a callable.
 template <typename Fn>
 double time_seconds(Fn&& fn) {
@@ -75,5 +92,69 @@ inline std::string fmt(double v, int prec = 2) {
   return buf;
 }
 inline std::string fmt(std::uint64_t v) { return std::to_string(v); }
+
+/// Tiny streaming JSON writer for the BENCH_*.json artifacts.  Handles
+/// comma placement; callers balance begin/end themselves.
+class JsonWriter {
+ public:
+  explicit JsonWriter(FILE* out) : out_(out) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array(const char* key = nullptr) { open('[', key); }
+  void end_array() { close(']'); }
+
+  void field(const char* key, const std::string& v) {
+    prefix(key);
+    std::fprintf(out_, "\"%s\"", escaped(v).c_str());
+  }
+  void field(const char* key, const char* v) { field(key, std::string(v)); }
+  void field(const char* key, double v) {
+    prefix(key);
+    std::fprintf(out_, "%.6g", v);
+  }
+  void field(const char* key, std::uint64_t v) {
+    prefix(key);
+    std::fprintf(out_, "%llu", static_cast<unsigned long long>(v));
+  }
+  void field(const char* key, unsigned v) {
+    field(key, static_cast<std::uint64_t>(v));
+  }
+
+  /// Begin an object as an element/value (for arrays of objects).
+  void object(const char* key = nullptr) { open('{', key); }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  void prefix(const char* key) {
+    if (need_comma_) std::fprintf(out_, ",");
+    std::fprintf(out_, "\n%*s", static_cast<int>(2 * depth_), "");
+    if (key != nullptr) std::fprintf(out_, "\"%s\": ", key);
+    need_comma_ = true;
+  }
+  void open(char bracket, const char* key = nullptr) {
+    if (depth_ > 0) prefix(key);
+    std::fprintf(out_, "%c", bracket);
+    ++depth_;
+    need_comma_ = false;
+  }
+  void close(char bracket) {
+    --depth_;
+    std::fprintf(out_, "\n%*s%c", static_cast<int>(2 * depth_), "", bracket);
+    need_comma_ = true;
+    if (depth_ == 0) std::fprintf(out_, "\n");
+  }
+
+  FILE* out_;
+  std::size_t depth_ = 0;
+  bool need_comma_ = false;
+};
 
 }  // namespace liberty::bench

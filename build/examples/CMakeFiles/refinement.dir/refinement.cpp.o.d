@@ -204,8 +204,8 @@ examples/CMakeFiles/refinement.dir/refinement.cpp.o: \
  /root/repo/src/ccl/include/liberty/ccl/power.hpp \
  /usr/include/c++/12/cstddef \
  /root/repo/src/core/include/liberty/core/module.hpp \
- /usr/include/c++/12/limits /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/limits \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
@@ -246,6 +246,16 @@ examples/CMakeFiles/refinement.dir/refinement.cpp.o: \
  /root/repo/src/core/include/liberty/core/registry.hpp \
  /root/repo/src/core/include/liberty/core/simulator.hpp \
  /root/repo/src/core/include/liberty/core/scheduler.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread \
  /root/repo/src/upl/include/liberty/upl/upl.hpp \
  /root/repo/src/upl/include/liberty/upl/cache.hpp \
  /root/repo/src/upl/include/liberty/upl/isa.hpp \

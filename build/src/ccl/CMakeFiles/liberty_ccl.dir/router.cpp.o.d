@@ -222,8 +222,9 @@ src/ccl/CMakeFiles/liberty_ccl.dir/router.cpp.o: \
  /root/repo/src/ccl/include/liberty/ccl/power.hpp \
  /usr/include/c++/12/cstddef \
  /root/repo/src/core/include/liberty/core/module.hpp \
- /usr/include/c++/12/limits /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/limits \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/core/include/liberty/core/port.hpp \
  /usr/include/c++/12/optional \

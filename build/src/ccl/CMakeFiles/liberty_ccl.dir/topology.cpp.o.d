@@ -223,8 +223,9 @@ src/ccl/CMakeFiles/liberty_ccl.dir/topology.cpp.o: \
  /root/repo/src/support/include/liberty/support/error.hpp \
  /root/repo/src/ccl/include/liberty/ccl/power.hpp \
  /root/repo/src/core/include/liberty/core/module.hpp \
- /usr/include/c++/12/limits /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/limits \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/core/include/liberty/core/port.hpp \
  /usr/include/c++/12/optional \

@@ -206,8 +206,9 @@ src/ccl/CMakeFiles/liberty_ccl.dir/wireless.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/support/include/liberty/support/error.hpp \
  /root/repo/src/core/include/liberty/core/module.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/limits /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

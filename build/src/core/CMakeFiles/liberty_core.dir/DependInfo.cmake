@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/kernel/module.cpp" "src/core/CMakeFiles/liberty_core.dir/kernel/module.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/kernel/module.cpp.o.d"
   "/root/repo/src/core/kernel/netlist.cpp" "src/core/CMakeFiles/liberty_core.dir/kernel/netlist.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/kernel/netlist.cpp.o.d"
+  "/root/repo/src/core/kernel/parallel_scheduler.cpp" "src/core/CMakeFiles/liberty_core.dir/kernel/parallel_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/kernel/parallel_scheduler.cpp.o.d"
   "/root/repo/src/core/kernel/registry.cpp" "src/core/CMakeFiles/liberty_core.dir/kernel/registry.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/kernel/registry.cpp.o.d"
   "/root/repo/src/core/kernel/scheduler.cpp" "src/core/CMakeFiles/liberty_core.dir/kernel/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/kernel/scheduler.cpp.o.d"
   "/root/repo/src/core/kernel/simulator.cpp" "src/core/CMakeFiles/liberty_core.dir/kernel/simulator.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/kernel/simulator.cpp.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/liberty_core.dir/kernel/module.cpp.o.d"
   "CMakeFiles/liberty_core.dir/kernel/netlist.cpp.o"
   "CMakeFiles/liberty_core.dir/kernel/netlist.cpp.o.d"
+  "CMakeFiles/liberty_core.dir/kernel/parallel_scheduler.cpp.o"
+  "CMakeFiles/liberty_core.dir/kernel/parallel_scheduler.cpp.o.d"
   "CMakeFiles/liberty_core.dir/kernel/registry.cpp.o"
   "CMakeFiles/liberty_core.dir/kernel/registry.cpp.o.d"
   "CMakeFiles/liberty_core.dir/kernel/scheduler.cpp.o"

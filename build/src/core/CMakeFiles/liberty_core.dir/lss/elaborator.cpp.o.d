@@ -211,8 +211,8 @@ src/core/CMakeFiles/liberty_core.dir/lss/elaborator.cpp.o: \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/support/include/liberty/support/error.hpp \
  /root/repo/src/core/include/liberty/core/netlist.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/core/include/liberty/core/connection.hpp \

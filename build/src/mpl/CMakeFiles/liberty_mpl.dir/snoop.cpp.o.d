@@ -207,9 +207,9 @@ src/mpl/CMakeFiles/liberty_mpl.dir/snoop.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/core/include/liberty/core/module.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/limits /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/core/include/liberty/core/port.hpp \
  /root/repo/src/core/include/liberty/core/connection.hpp \

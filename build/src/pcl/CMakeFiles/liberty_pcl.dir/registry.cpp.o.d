@@ -213,7 +213,8 @@ src/pcl/CMakeFiles/liberty_pcl.dir/registry.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/core/include/liberty/core/module.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/limits \
  /root/repo/src/core/include/liberty/core/port.hpp \
  /usr/include/c++/12/optional \
  /root/repo/src/core/include/liberty/core/connection.hpp \

@@ -210,9 +210,9 @@ src/upl/CMakeFiles/liberty_upl.dir/simple_cpu.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /root/repo/src/core/include/liberty/core/module.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/limits /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/core/include/liberty/core/port.hpp \
  /root/repo/src/core/include/liberty/core/connection.hpp \

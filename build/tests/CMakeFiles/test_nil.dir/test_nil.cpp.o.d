@@ -321,6 +321,15 @@ tests/CMakeFiles/test_nil.dir/test_nil.cpp.o: \
  /root/repo/src/core/include/liberty/core/registry.hpp \
  /root/repo/src/core/include/liberty/core/simulator.hpp \
  /root/repo/src/core/include/liberty/core/scheduler.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread \
  /root/repo/src/nil/include/liberty/nil/nil.hpp \
  /root/repo/src/nil/include/liberty/nil/ethernet.hpp \
  /root/repo/src/nil/include/liberty/nil/fabric_adapter.hpp \

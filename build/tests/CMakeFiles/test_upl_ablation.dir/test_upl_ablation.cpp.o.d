@@ -307,12 +307,21 @@ tests/CMakeFiles/test_upl_ablation.dir/test_upl_ablation.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/include/liberty/core/scheduler.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread \
  /root/repo/src/upl/include/liberty/upl/upl.hpp \
  /root/repo/src/core/include/liberty/core/registry.hpp \
  /root/repo/src/core/include/liberty/core/params.hpp \
  /root/repo/src/upl/include/liberty/upl/cache.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/support/include/liberty/support/rng.hpp \
  /root/repo/src/upl/include/liberty/upl/isa.hpp \
  /root/repo/src/upl/include/liberty/upl/mem_protocol.hpp \

@@ -13,6 +13,7 @@ include("/root/repo/build/tests/test_ccl[1]_include.cmake")
 include("/root/repo/build/tests/test_mpl[1]_include.cmake")
 include("/root/repo/build/tests/test_nil[1]_include.cmake")
 include("/root/repo/build/tests/test_props[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler_parallel[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_upl_mem[1]_include.cmake")
 include("/root/repo/build/tests/test_ccl_topology[1]_include.cmake")

@@ -4,7 +4,9 @@
 //     --cycles N          cycles to simulate                [10000]
 //     --param NAME=VALUE  override a top-level param (repeatable;
 //                         integers, reals, true/false, or strings)
-//     --scheduler dyn|static                                [static]
+//     --scheduler dyn|static|parallel                       [static]
+//     --threads N         worker threads for --scheduler parallel
+//                         (0 = hardware concurrency)        [0]
 //     --dot FILE          write the netlist as Graphviz DOT and exit
 //     --vcd FILE          also record a VCD transfer waveform
 //     --quiet             suppress the statistics dump
@@ -54,8 +56,8 @@ liberty::Value parse_value(const std::string& text) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s SPEC.lss [--cycles N] [--param NAME=VALUE]...\n"
-               "       [--scheduler dyn|static] [--dot FILE] [--vcd FILE]\n"
-               "       [--quiet]\n",
+               "       [--scheduler dyn|static|parallel] [--threads N]\n"
+               "       [--dot FILE] [--vcd FILE] [--quiet]\n",
                argv0);
   return 2;
 }
@@ -68,6 +70,7 @@ int main(int argc, char** argv) {
   std::uint64_t cycles = 10'000;
   std::map<std::string, liberty::Value> overrides;
   auto kind = liberty::core::SchedulerKind::Static;
+  unsigned threads = 0;
   std::string dot_path;
   std::string vcd_path;
   bool quiet = false;
@@ -89,9 +92,14 @@ int main(int argc, char** argv) {
       if (eq == std::string::npos) return usage(argv[0]);
       overrides[kv.substr(0, eq)] = parse_value(kv.substr(eq + 1));
     } else if (arg == "--scheduler") {
-      const std::string k = next();
-      kind = k == "dyn" ? liberty::core::SchedulerKind::Dynamic
-                        : liberty::core::SchedulerKind::Static;
+      try {
+        kind = liberty::core::scheduler_kind_from_name(next());
+      } catch (const liberty::Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--dot") {
       dot_path = next();
     } else if (arg == "--vcd") {
@@ -129,7 +137,7 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    liberty::core::Simulator sim(netlist, kind);
+    liberty::core::Simulator sim(netlist, kind, threads);
     std::unique_ptr<liberty::core::VcdTracer> tracer;
     std::ofstream vcd_file;
     if (!vcd_path.empty()) {

@@ -22,8 +22,21 @@
 // value and may veto the consumer's acceptance, independent of either
 // module's functionality — e.g. to inject stalls, model faults, or filter
 // traffic without touching component code.
+//
+// Concurrency (ParallelScheduler): a channel is only ever *driven* from one
+// thread per wave (the cluster owning its driver module), but any module may
+// *observe* enable/ack concurrently.  The two control states are therefore
+// atomic: data_ is published before the enable_ store, so an observer that
+// sees the offer known may read data() without further synchronization.
+// enable_/ack_ use seq_cst so that when a forward and backward channel of
+// the same connection resolve concurrently on different threads, at least
+// one of the two resolutions observes the completed transfer (the schedulers
+// rely on this to maintain the transferred-connection dirty list without an
+// end-of-cycle scan).  Transfer gates require producer and consumer to be
+// co-scheduled; gates must be installed before scheduler construction.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -96,8 +109,12 @@ class Connection {
 
   // --- Forward channel ----------------------------------------------------
 
-  [[nodiscard]] bool forward_known() const noexcept { return known(enable_); }
-  [[nodiscard]] bool enabled() const noexcept { return asserted(enable_); }
+  [[nodiscard]] bool forward_known() const noexcept {
+    return known(enable_.load(std::memory_order_seq_cst));
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return asserted(enable_.load(std::memory_order_seq_cst));
+  }
   [[nodiscard]] const Value& data() const noexcept { return data_; }
 
   /// Producer offers `v` this cycle.
@@ -107,8 +124,12 @@ class Connection {
 
   // --- Backward channel ---------------------------------------------------
 
-  [[nodiscard]] bool ack_known() const noexcept { return known(ack_); }
-  [[nodiscard]] bool acked() const noexcept { return asserted(ack_); }
+  [[nodiscard]] bool ack_known() const noexcept {
+    return known(ack_.load(std::memory_order_seq_cst));
+  }
+  [[nodiscard]] bool acked() const noexcept {
+    return asserted(ack_.load(std::memory_order_seq_cst));
+  }
 
   /// Consumer accepts this cycle's offer.  With a transfer gate installed,
   /// final acceptance additionally requires the gate's approval, so the ack
@@ -120,12 +141,12 @@ class Connection {
   // --- Cycle-boundary queries ----------------------------------------------
 
   [[nodiscard]] bool fully_resolved() const noexcept {
-    return known(enable_) && known(ack_);
+    return forward_known() && ack_known();
   }
 
   /// True when a transfer happens this cycle (valid once fully resolved).
   [[nodiscard]] bool transferred() const noexcept {
-    return asserted(enable_) && asserted(ack_);
+    return enabled() && acked();
   }
 
   [[nodiscard]] std::uint64_t transfer_count() const noexcept {
@@ -135,13 +156,15 @@ class Connection {
   /// defaulting rather than by module code.  Nonzero values flag
   /// under-specified control in partial models.
   [[nodiscard]] std::uint64_t defaulted_count() const noexcept {
-    return defaulted_;
+    return defaulted_.load(std::memory_order_relaxed);
   }
 
-  /// Bumps every time either channel resolves; schedulers use it to detect
-  /// progress cheaply.
+  /// Bumps every time either channel resolves; a cheap global progress
+  /// measure.  Each half is written only by the thread that resolves that
+  /// channel, so the halves are plain single-writer counters.
   [[nodiscard]] std::uint64_t generation() const noexcept {
-    return generation_;
+    return gen_fwd_.load(std::memory_order_relaxed) +
+           gen_bwd_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::string describe() const;
@@ -151,60 +174,76 @@ class Connection {
   friend class SchedulerBase;
 
   void resolve_forward(Tristate enable, const Value& v) {
-    if (known(enable_)) {
-      if (enable_ == enable && data_ == v) return;  // idempotent re-drive
+    if (forward_known()) {
+      if (enable_.load(std::memory_order_relaxed) == enable && data_ == v) {
+        return;  // idempotent re-drive
+      }
       throw liberty::SimulationError(
           "non-monotone forward drive on connection " + describe());
     }
-    enable_ = enable;
-    data_ = v;
-    ++generation_;
+    data_ = v;  // published by the enable_ store below
+    enable_.store(enable, std::memory_order_seq_cst);
+    gen_fwd_.store(gen_fwd_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
     if (hooks_ != nullptr) hooks_->on_forward_resolved(*this);
     // A gated ack may have been waiting for the offer to become known.
-    if (known(pending_intent_) && !known(ack_)) {
-      finish_backward(apply_gate(pending_intent_));
+    if (known(pending_intent_.load(std::memory_order_relaxed)) &&
+        !ack_known()) {
+      finish_backward(apply_gate(pending_intent_.load(
+          std::memory_order_relaxed)));
     }
   }
 
   void resolve_backward(Tristate intent) {
-    if (known(intent_)) {
-      if (intent_ == intent) return;  // idempotent re-drive
+    const Tristate prev = intent_.load(std::memory_order_relaxed);
+    if (known(prev)) {
+      if (prev == intent) return;  // idempotent re-drive
       throw liberty::SimulationError(
           "non-monotone backward drive on connection " + describe());
     }
-    intent_ = intent;
-    if (gate_ && asserted(intent) && !known(enable_)) {
-      pending_intent_ = intent;  // defer until the offer is known
+    intent_.store(intent, std::memory_order_relaxed);
+    if (gate_ && asserted(intent) && !forward_known()) {
+      // Defer until the offer is known.  Gated connections are co-scheduled
+      // (producer and consumer share a cluster), so the producer's
+      // resolve_forward cannot race this store.
+      pending_intent_.store(intent, std::memory_order_relaxed);
       return;
     }
     finish_backward(apply_gate(intent));
   }
 
   [[nodiscard]] Tristate apply_gate(Tristate intent) const {
-    if (gate_ && asserted(intent) && asserted(enable_)) {
+    if (gate_ && asserted(intent) && enabled()) {
       return to_tristate(gate_(data_));
     }
     return intent;
   }
 
   void finish_backward(Tristate final_ack) {
-    pending_intent_ = Tristate::Unknown;
-    ack_ = final_ack;
-    ++generation_;
+    pending_intent_.store(Tristate::Unknown, std::memory_order_relaxed);
+    ack_.store(final_ack, std::memory_order_seq_cst);
+    gen_bwd_.store(gen_bwd_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
     if (hooks_ != nullptr) hooks_->on_backward_resolved(*this);
   }
 
-  /// Called by the scheduler at the end of each cycle, after end_of_cycle().
-  void commit_and_reset() noexcept {
-    if (transferred()) ++transfers_;
-    enable_ = Tristate::Unknown;
-    ack_ = Tristate::Unknown;
-    intent_ = Tristate::Unknown;
-    pending_intent_ = Tristate::Unknown;
+  /// Count a completed transfer (scheduler end-of-cycle, from the
+  /// transferred-connection dirty list).
+  void note_transfer() noexcept { ++transfers_; }
+
+  /// Clear per-cycle channel state (scheduler end-of-cycle, single
+  /// threaded).
+  void reset_channels() noexcept {
+    enable_.store(Tristate::Unknown, std::memory_order_relaxed);
+    ack_.store(Tristate::Unknown, std::memory_order_relaxed);
+    intent_.store(Tristate::Unknown, std::memory_order_relaxed);
+    pending_intent_.store(Tristate::Unknown, std::memory_order_relaxed);
     data_ = Value();
   }
 
-  void note_defaulted() noexcept { ++defaulted_; }
+  void note_defaulted() noexcept {
+    defaulted_.fetch_add(1, std::memory_order_relaxed);
+  }
   void set_hooks(ResolveHooks* h) noexcept { hooks_ = h; }
 
   ConnId id_;
@@ -216,15 +255,16 @@ class Connection {
   TransferGate gate_;
   ResolveHooks* hooks_ = nullptr;
 
-  Tristate enable_ = Tristate::Unknown;
-  Tristate ack_ = Tristate::Unknown;
-  Tristate intent_ = Tristate::Unknown;
-  Tristate pending_intent_ = Tristate::Unknown;
+  std::atomic<Tristate> enable_{Tristate::Unknown};
+  std::atomic<Tristate> ack_{Tristate::Unknown};
+  std::atomic<Tristate> intent_{Tristate::Unknown};
+  std::atomic<Tristate> pending_intent_{Tristate::Unknown};
   Value data_;
 
   std::uint64_t transfers_ = 0;
-  std::uint64_t defaulted_ = 0;
-  std::uint64_t generation_ = 0;
+  std::atomic<std::uint64_t> defaulted_{0};
+  std::atomic<std::uint32_t> gen_fwd_{0};
+  std::atomic<std::uint32_t> gen_bwd_{0};
 };
 
 }  // namespace liberty::core

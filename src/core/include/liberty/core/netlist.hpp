@@ -6,6 +6,7 @@
 // Figure 1.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <unordered_map>
@@ -71,8 +72,14 @@ class Netlist {
   }
 
   /// True once any module has called Module::request_stop() this run.
-  [[nodiscard]] bool stop_requested() const noexcept { return stop_flag_; }
-  void clear_stop() noexcept { stop_flag_ = false; }
+  /// Atomic because modules may request a stop from parallel-scheduler
+  /// worker threads.
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_flag_.load(std::memory_order_relaxed);
+  }
+  void clear_stop() noexcept {
+    stop_flag_.store(false, std::memory_order_relaxed);
+  }
 
   /// Dump all module statistics, one line per stat, prefixed by instance
   /// name.
@@ -86,7 +93,7 @@ class Netlist {
   friend class SchedulerBase;
 
   bool finalized_ = false;
-  bool stop_flag_ = false;
+  std::atomic<bool> stop_flag_{false};
   std::vector<std::unique_ptr<Module>> modules_;
   std::unordered_map<std::string, Module*> by_name_;
   std::vector<std::unique_ptr<Connection>> conns_;

@@ -7,7 +7,7 @@
 // by the kernel (forward channels to "offers nothing", managed backward
 // channels to "refuses") — this is what lets partial specifications simulate.
 //
-// Two interchangeable schedulers compute that fixed point:
+// Three interchangeable schedulers compute that fixed point:
 //
 //  * DynamicScheduler — event-driven worklist.  Whenever a channel resolves,
 //    the module observing it is re-activated.  No knowledge of module
@@ -21,21 +21,111 @@
 //    the paper's §2.3 claim (ref [22], Penry & August, DAC 2003) that fixing
 //    the MoC makes the specification analyzable for optimization.
 //
-// Both schedulers produce bit-identical simulations; tests verify this on
+//  * ParallelScheduler — levelizes the same SCC condensation DAG into
+//    execution *waves* (sets of SCCs with no dependencies between them),
+//    coarsens each wave into per-module clusters so no module's react() is
+//    ever invoked from two threads concurrently, and executes the clusters
+//    of each wave on a persistent worker pool.  See docs/scheduling.md.
+//
+// All schedulers produce bit-identical simulations; tests verify this on
 // every component library and on randomized netlists.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "liberty/core/netlist.hpp"
 #include "liberty/core/types.hpp"
 
 namespace liberty::core {
+
+namespace detail {
+
+/// Per-thread resolution bookkeeping shared by all schedulers.  Hooks fire
+/// on whichever thread resolves a channel; accumulating into a thread-local
+/// context keeps the hot path free of shared-counter contention, and the
+/// schedulers fold the deltas back into their own totals at well-defined
+/// synchronization points (end of run_cycle; end of each parallel wave).
+struct ResolveCtx {
+  std::uint64_t resolutions = 0;  // channel resolutions observed
+  std::uint64_t reacts = 0;       // Module::react invocations
+  std::uint64_t defaults = 0;     // kernel defaulting actions
+  std::vector<Connection*> transferred;  // dirty list: completed transfers
+};
+
+extern thread_local ResolveCtx t_resolve_ctx;
+
+}  // namespace detail
+
+/// Channel dependency graph + SCC condensation of one netlist, built from
+/// the dependencies modules declare.  This is the §2.3 analysis artifact;
+/// the static scheduler walks its SCCs sequentially and the parallel
+/// scheduler levelizes them into waves.
+class ScheduleGraph {
+ public:
+  struct Node {
+    Connection* conn = nullptr;
+    ChannelKind kind = ChannelKind::Forward;
+    Module* driver = nullptr;  // nullptr => kernel-driven (AutoAccept ack)
+  };
+
+  void build(Netlist& netlist);
+
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<std::vector<ChannelId>>& succs()
+      const noexcept {
+    return succs_;
+  }
+  [[nodiscard]] const std::vector<std::vector<ChannelId>>& preds()
+      const noexcept {
+    return preds_;
+  }
+  /// SCCs in topological order of the condensation.
+  [[nodiscard]] const std::vector<std::vector<ChannelId>>& sccs()
+      const noexcept {
+    return sccs_;
+  }
+  [[nodiscard]] bool self_loop(std::size_t scc) const noexcept {
+    return self_loop_[scc] != 0;
+  }
+  /// SCC index of each channel.
+  [[nodiscard]] const std::vector<std::uint32_t>& scc_of() const noexcept {
+    return scc_of_;
+  }
+  [[nodiscard]] std::size_t largest_scc() const noexcept;
+
+  /// The module whose cluster is responsible for executing a node: the
+  /// driver when one exists, otherwise (kernel-driven AutoAccept acks) the
+  /// connection's producer, so the kernel drive happens on the same thread
+  /// that resolved the forward channel.
+  [[nodiscard]] Module* home_module(ChannelId ch) const noexcept {
+    const Node& n = nodes_[ch];
+    return n.driver != nullptr ? n.driver : n.conn->producer();
+  }
+
+ private:
+  void add_module_edges(Netlist& netlist,
+                        std::vector<std::vector<ChannelId>>& succs,
+                        std::vector<std::vector<ChannelId>>& preds);
+  void compute_sccs();
+
+  std::vector<Node> nodes_;                    // index == ChannelId
+  std::vector<std::vector<ChannelId>> succs_;  // adjacency (dep -> dependent)
+  std::vector<std::vector<ChannelId>> preds_;
+  std::vector<std::vector<ChannelId>> sccs_;   // topological order
+  std::vector<std::uint32_t> scc_of_;          // per channel
+  std::vector<char> self_loop_;                // per SCC index
+};
 
 class SchedulerBase : public ResolveHooks {
  public:
@@ -67,32 +157,50 @@ class SchedulerBase : public ResolveHooks {
     return defaults_;
   }
 
+  // ResolveHooks: every scheduler counts resolutions and maintains the
+  // transferred-connection dirty list; subclasses extend as needed.
+  void on_forward_resolved(Connection& c) override { note_resolved(c); }
+  void on_backward_resolved(Connection& c) override { note_resolved(c); }
+
  protected:
   virtual void resolve_cycle() = 0;
 
-  void call_react(Module& m) {
-    ++react_calls_;
+  /// Record a channel resolution in the current thread's context.  When the
+  /// resolution completes a transfer, the connection joins the dirty list
+  /// (the seq_cst enable/ack ordering in Connection guarantees at least one
+  /// of the two resolving threads sees the completed pair; duplicates are
+  /// removed at end of cycle).
+  static void note_resolved(Connection& c) {
+    detail::ResolveCtx& ctx = detail::t_resolve_ctx;
+    ++ctx.resolutions;
+    if (c.transferred()) ctx.transferred.push_back(&c);
+  }
+
+  static void call_react(Module& m) {
+    ++detail::t_resolve_ctx.reacts;
     m.react();
   }
   /// Resolve an undriven forward channel to "offers nothing".
-  void default_forward(Connection& c) {
+  static void default_forward(Connection& c) {
     if (c.forward_known()) return;
     c.idle();
     c.note_defaulted();
-    ++defaults_;
+    ++detail::t_resolve_ctx.defaults;
   }
   /// Resolve an undriven managed backward channel to "refuses".  Skipped
   /// when a gated intent is still pending (it resolves with its forward).
-  void default_backward(Connection& c) {
+  static void default_backward(Connection& c) {
     if (c.ack_known()) return;
-    if (known(c.intent_)) return;
+    if (known(c.intent_.load(std::memory_order_relaxed))) return;
     c.nack();
     c.note_defaulted();
-    ++defaults_;
+    ++detail::t_resolve_ctx.defaults;
   }
   /// Kernel drive for an AutoAccept backward channel whose forward is known.
   static void apply_auto_accept(Connection& c) {
-    if (c.ack_known() || known(c.intent_)) return;
+    if (c.ack_known() || known(c.intent_.load(std::memory_order_relaxed))) {
+      return;
+    }
     if (c.enabled()) {
       c.ack();
     } else {
@@ -105,13 +213,33 @@ class SchedulerBase : public ResolveHooks {
   /// Sum of connection generations: a cheap global progress measure.
   [[nodiscard]] std::uint64_t total_generation() const noexcept;
 
+  /// Fold worker-thread deltas into this scheduler's totals (called by the
+  /// parallel scheduler at wave joins, under its pool mutex).
+  void absorb(const detail::ResolveCtx& delta);
+
   Netlist& netlist_;
   std::vector<TransferObserver> observers_;
   std::uint64_t react_calls_ = 0;
   std::uint64_t defaults_ = 0;
+
+  // Flattened "schedule tape": raw pointers in execution order, so the
+  // per-cycle passes walk dense arrays instead of chasing unique_ptrs.
+  std::vector<Module*> module_tape_;
+  std::vector<Connection*> conn_tape_;
+
+  // Per-cycle accounting merged from worker threads (parallel waves).
+  std::uint64_t cycle_resolutions_ = 0;
+  std::vector<Connection*> cycle_transferred_;
+
+ private:
+  void verify_resolved(Cycle cycle) const;
 };
 
 /// Event-driven worklist scheduler (the semantics-defining baseline).
+/// The worklist is a fixed-capacity ring buffer (a module is queued at most
+/// once, so capacity = module count suffices) with epoch-stamped queued
+/// marks: a module is queued iff its stamp equals the current epoch, and
+/// bumping the epoch un-queues everything in O(1) at cycle start.
 class DynamicScheduler final : public SchedulerBase {
  public:
   explicit DynamicScheduler(Netlist& netlist);
@@ -130,12 +258,48 @@ class DynamicScheduler final : public SchedulerBase {
   void enqueue(Module* m);
   void drain();
 
-  std::deque<Module*> worklist_;
-  std::vector<bool> queued_;
+  std::vector<Module*> ring_;  // power-of-two capacity ring buffer
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::vector<std::uint64_t> queued_stamp_;  // == epoch_ <=> queued
+  std::uint64_t epoch_ = 1;
 };
 
-/// Statically scheduled resolver built from declared dependencies.
-class StaticScheduler final : public SchedulerBase {
+/// Shared machinery of the analysis-driven schedulers (static & parallel):
+/// node execution, SCC fixed-point iteration, and the endgame for channels
+/// the schedule could not attribute.
+class AnalyzedScheduler : public SchedulerBase {
+ public:
+  /// Schedule shape introspection (tests and bench_scheduler reporting).
+  [[nodiscard]] std::size_t scc_count() const noexcept {
+    return graph_.sccs().size();
+  }
+  [[nodiscard]] std::size_t largest_scc() const noexcept {
+    return graph_.largest_scc();
+  }
+  [[nodiscard]] std::size_t channel_count() const noexcept {
+    return graph_.nodes().size();
+  }
+
+ protected:
+  explicit AnalyzedScheduler(Netlist& netlist);
+
+  [[nodiscard]] bool node_resolved(ChannelId id) const;
+  void execute_node(ChannelId id);
+  void run_scc(std::size_t scc_index);
+  void cleanup_unresolved();
+
+  ScheduleGraph graph_;
+  // Precomputed per-SCC execution state (replaces per-cycle driver
+  // discovery and defaulting-order sorts in the old run_scc hot path).
+  std::vector<std::vector<Module*>> scc_drivers_;
+  std::vector<std::vector<ChannelId>> scc_order_;  // forwards first
+};
+
+/// Statically scheduled sequential resolver built from declared
+/// dependencies.
+class StaticScheduler final : public AnalyzedScheduler {
  public:
   explicit StaticScheduler(Netlist& netlist);
 
@@ -143,40 +307,69 @@ class StaticScheduler final : public SchedulerBase {
     return "static";
   }
 
-  void on_forward_resolved(Connection&) override {}
-  void on_backward_resolved(Connection&) override {}
+ protected:
+  void resolve_cycle() override;
+};
 
-  /// Schedule shape introspection (tests and bench_scheduler reporting).
-  [[nodiscard]] std::size_t scc_count() const noexcept {
-    return sccs_.size();
+/// Wave-parallel resolver: SCCs of the condensation DAG are levelized into
+/// waves, waves are coarsened into per-module clusters, and each wave's
+/// clusters run concurrently on a persistent worker pool.
+class ParallelScheduler final : public AnalyzedScheduler {
+ public:
+  /// `threads` == 0 selects std::thread::hardware_concurrency().
+  explicit ParallelScheduler(Netlist& netlist, unsigned threads = 0);
+  ~ParallelScheduler() override;
+
+  [[nodiscard]] std::string_view kind_name() const override {
+    return "parallel";
   }
-  [[nodiscard]] std::size_t largest_scc() const noexcept;
-  [[nodiscard]] std::size_t channel_count() const noexcept {
-    return nodes_.size();
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+  [[nodiscard]] std::size_t wave_count() const noexcept {
+    return waves_.size();
   }
+  [[nodiscard]] std::size_t cluster_count() const noexcept {
+    return clusters_.size();
+  }
+  /// Largest number of independently executable clusters in any wave (the
+  /// available parallelism of this netlist's schedule).
+  [[nodiscard]] std::size_t max_wave_width() const noexcept;
 
  protected:
   void resolve_cycle() override;
 
  private:
-  struct Node {
-    Connection* conn = nullptr;
-    ChannelKind kind = ChannelKind::Forward;
-    Module* driver = nullptr;  // nullptr => kernel-driven (AutoAccept ack)
+  struct Cluster {
+    std::vector<std::uint32_t> sccs;  // indices into graph_.sccs()
+  };
+  struct Wave {
+    std::uint32_t first = 0;  // [first, last) into clusters_
+    std::uint32_t last = 0;
   };
 
-  void build_graph();
-  void compute_sccs();
-  [[nodiscard]] bool node_resolved(ChannelId id) const;
-  void execute_node(ChannelId id);
-  void run_scc(const std::vector<ChannelId>& group);
-  void cleanup_unresolved();
+  void build_waves();
+  void run_cluster(const Cluster& cl);
+  void process_clusters();  // pull clusters via next_ until the wave is dry
+  void dispatch_wave(const Wave& w);
+  void worker_main();
 
-  std::vector<Node> nodes_;                    // index == ChannelId
-  std::vector<std::vector<ChannelId>> succs_;  // adjacency (dep -> dependent)
-  std::vector<std::vector<ChannelId>> preds_;
-  std::vector<std::vector<ChannelId>> sccs_;   // topological order
-  std::vector<bool> self_loop_;                // per SCC index
+  unsigned threads_ = 1;
+  std::vector<Cluster> clusters_;
+  std::vector<Wave> waves_;
+
+  // --- worker pool ---------------------------------------------------------
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t job_epoch_ = 0;   // bumped per dispatched wave
+  std::uint32_t job_first_ = 0;   // cluster range of the current wave
+  std::uint32_t job_last_ = 0;
+  std::size_t job_chunk_ = 1;
+  unsigned workers_active_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr worker_error_;
+  std::atomic<std::uint32_t> next_{0};  // chunked work-stealing index
+  std::vector<std::jthread> pool_;
 };
 
 }  // namespace liberty::core

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <ostream>
+#include <string_view>
 
 #include "liberty/core/netlist.hpp"
 #include "liberty/core/scheduler.hpp"
@@ -15,17 +16,31 @@
 
 namespace liberty::core {
 
-enum class SchedulerKind { Dynamic, Static };
+enum class SchedulerKind { Dynamic, Static, Parallel };
+
+/// Parse a scheduler name ("dyn"/"dynamic", "static", "par"/"parallel");
+/// throws ElaborationError on anything else.  Shared by lss_run, bench_util
+/// and any other front end exposing the scheduler knob.
+[[nodiscard]] SchedulerKind scheduler_kind_from_name(std::string_view name);
 
 class Simulator {
  public:
+  /// `threads` applies to SchedulerKind::Parallel only; 0 selects
+  /// std::thread::hardware_concurrency().
   explicit Simulator(Netlist& netlist,
-                     SchedulerKind kind = SchedulerKind::Dynamic)
+                     SchedulerKind kind = SchedulerKind::Dynamic,
+                     unsigned threads = 0)
       : netlist_(netlist) {
-    if (kind == SchedulerKind::Dynamic) {
-      sched_ = std::make_unique<DynamicScheduler>(netlist);
-    } else {
-      sched_ = std::make_unique<StaticScheduler>(netlist);
+    switch (kind) {
+      case SchedulerKind::Dynamic:
+        sched_ = std::make_unique<DynamicScheduler>(netlist);
+        break;
+      case SchedulerKind::Static:
+        sched_ = std::make_unique<StaticScheduler>(netlist);
+        break;
+      case SchedulerKind::Parallel:
+        sched_ = std::make_unique<ParallelScheduler>(netlist, threads);
+        break;
     }
   }
 

@@ -53,7 +53,9 @@ Port& Module::add_out(std::string name, std::size_t min_conns,
 }
 
 void Module::request_stop() noexcept {
-  if (stop_flag_ != nullptr) *stop_flag_ = true;
+  if (stop_flag_ != nullptr) {
+    stop_flag_->store(true, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace liberty::core

@@ -1,0 +1,245 @@
+// ParallelScheduler: wave-scheduled multi-threaded fixed-point resolution.
+//
+// The StaticScheduler's SCC condensation DAG already encodes everything the
+// paper's §2.3 analyzability claim promises: which channel resolutions are
+// independent.  This scheduler turns that independence into parallelism:
+//
+//   1. Levelize: wave(scc) = 1 + max(wave(predecessor scc)).  All SCCs in a
+//      wave are mutually independent.
+//   2. Coarsen: SCCs of a wave are grouped into clusters so that all nodes
+//      whose execution touches the same module land in one cluster — a
+//      module's react() is never invoked from two threads in the same wave.
+//      Kernel-driven AutoAccept acks are homed on the connection's producer,
+//      and gated connections co-schedule producer and consumer (their
+//      deferred-ack protocol crosses the connection).
+//   3. Execute: each wave's clusters are distributed over a persistent
+//      std::jthread pool through a chunked atomic work index; the main
+//      thread participates.  A wave barrier separates writes from reads of
+//      dependent channels; cross-wave channel observation is safe because
+//      Connection's control state is atomic.
+//
+// See docs/scheduling.md for the full invariant discussion.
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "liberty/core/scheduler.hpp"
+#include "liberty/support/error.hpp"
+
+namespace liberty::core {
+
+ParallelScheduler::ParallelScheduler(Netlist& netlist, unsigned threads)
+    : AnalyzedScheduler(netlist) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads_ = threads;
+  build_waves();
+  for (unsigned i = 1; i < threads_; ++i) {
+    pool_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ParallelScheduler::~ParallelScheduler() {
+  {
+    std::lock_guard lk(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  pool_.clear();  // jthreads join on destruction
+}
+
+void ParallelScheduler::build_waves() {
+  const auto& sccs = graph_.sccs();
+  const auto& scc_of = graph_.scc_of();
+  const std::size_t n_scc = sccs.size();
+  if (n_scc == 0) return;
+
+  // 1. Levelize the condensation DAG.  SCCs are stored in topological
+  // order, so predecessors already have their wave when we reach a node.
+  std::vector<std::uint32_t> wave_of(n_scc, 0);
+  std::uint32_t max_wave = 0;
+  for (std::size_t i = 0; i < n_scc; ++i) {
+    std::uint32_t w = 0;
+    for (ChannelId ch : sccs[i]) {
+      for (ChannelId p : graph_.preds()[ch]) {
+        const std::uint32_t ps = scc_of[p];
+        if (ps != i) w = std::max(w, wave_of[ps] + 1);
+      }
+    }
+    wave_of[i] = w;
+    max_wave = std::max(max_wave, w);
+  }
+
+  // 2. Union-find over modules: every module touched by one SCC must be
+  // executed by the same cluster, and gated connections co-schedule their
+  // producer and consumer (the deferred-ack handshake writes both sides).
+  std::vector<std::uint32_t> parent(netlist_.module_count());
+  std::iota(parent.begin(), parent.end(), 0u);
+  auto find = [&parent](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&parent, &find](std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  };
+  for (std::size_t i = 0; i < n_scc; ++i) {
+    const auto first =
+        static_cast<std::uint32_t>(graph_.home_module(sccs[i][0])->id());
+    for (ChannelId ch : sccs[i]) {
+      unite(first, static_cast<std::uint32_t>(graph_.home_module(ch)->id()));
+    }
+  }
+  for (const Connection* c : conn_tape_) {
+    if (c->has_transfer_gate()) {
+      unite(static_cast<std::uint32_t>(c->producer()->id()),
+            static_cast<std::uint32_t>(c->consumer()->id()));
+    }
+  }
+
+  // 3. Per-wave clusters keyed by the home-module union root, SCCs kept in
+  // topological (index) order for determinism.
+  std::vector<std::vector<std::uint32_t>> wave_sccs(max_wave + 1);
+  for (std::size_t i = 0; i < n_scc; ++i) {
+    wave_sccs[wave_of[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+  waves_.clear();
+  clusters_.clear();
+  std::unordered_map<std::uint32_t, std::uint32_t> by_root;
+  for (std::uint32_t w = 0; w <= max_wave; ++w) {
+    by_root.clear();
+    Wave wv;
+    wv.first = static_cast<std::uint32_t>(clusters_.size());
+    for (std::uint32_t s : wave_sccs[w]) {
+      const std::uint32_t root = find(
+          static_cast<std::uint32_t>(graph_.home_module(sccs[s][0])->id()));
+      const auto it = by_root.find(root);
+      if (it == by_root.end()) {
+        by_root.emplace(root, static_cast<std::uint32_t>(clusters_.size()));
+        clusters_.push_back(Cluster{{s}});
+      } else {
+        clusters_[it->second].sccs.push_back(s);
+      }
+    }
+    wv.last = static_cast<std::uint32_t>(clusters_.size());
+    waves_.push_back(wv);
+  }
+}
+
+std::size_t ParallelScheduler::max_wave_width() const noexcept {
+  std::size_t best = 0;
+  for (const Wave& w : waves_) {
+    best = std::max(best, static_cast<std::size_t>(w.last - w.first));
+  }
+  return best;
+}
+
+void ParallelScheduler::run_cluster(const Cluster& cl) {
+  const auto& sccs = graph_.sccs();
+  for (std::uint32_t s : cl.sccs) {
+    if (sccs[s].size() == 1 && !graph_.self_loop(s)) {
+      execute_node(sccs[s][0]);
+    } else {
+      run_scc(s);
+    }
+  }
+}
+
+void ParallelScheduler::process_clusters() {
+  while (true) {
+    const std::uint32_t begin = next_.fetch_add(
+        static_cast<std::uint32_t>(job_chunk_), std::memory_order_relaxed);
+    if (begin >= job_last_) break;
+    const auto end = std::min<std::uint32_t>(
+        begin + static_cast<std::uint32_t>(job_chunk_), job_last_);
+    for (std::uint32_t i = begin; i < end; ++i) run_cluster(clusters_[i]);
+  }
+}
+
+void ParallelScheduler::dispatch_wave(const Wave& w) {
+  {
+    std::lock_guard lk(mu_);
+    job_first_ = w.first;
+    job_last_ = w.last;
+    job_chunk_ = std::max<std::size_t>(
+        1, (w.last - w.first) / (static_cast<std::size_t>(threads_) * 2));
+    next_.store(w.first, std::memory_order_relaxed);
+    workers_active_ = static_cast<unsigned>(pool_.size());
+    ++job_epoch_;
+  }
+  cv_work_.notify_all();
+
+  std::exception_ptr err;
+  try {
+    process_clusters();
+  } catch (...) {
+    err = std::current_exception();
+  }
+
+  {
+    std::unique_lock lk(mu_);
+    cv_done_.wait(lk, [this] { return workers_active_ == 0; });
+    if (!err && worker_error_) err = worker_error_;
+    worker_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ParallelScheduler::worker_main() {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock lk(mu_);
+      cv_work_.wait(lk, [&] { return shutdown_ || job_epoch_ != seen; });
+      if (shutdown_) return;
+      seen = job_epoch_;
+    }
+    detail::ResolveCtx& ctx = detail::t_resolve_ctx;
+    const std::uint64_t r0 = ctx.resolutions;
+    const std::uint64_t k0 = ctx.reacts;
+    const std::uint64_t d0 = ctx.defaults;
+    std::exception_ptr err;
+    try {
+      process_clusters();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard lk(mu_);
+      detail::ResolveCtx delta;
+      delta.resolutions = ctx.resolutions - r0;
+      delta.reacts = ctx.reacts - k0;
+      delta.defaults = ctx.defaults - d0;
+      delta.transferred = std::move(ctx.transferred);
+      absorb(delta);
+      ctx.transferred.clear();
+      if (err && !worker_error_) worker_error_ = err;
+      if (--workers_active_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ParallelScheduler::resolve_cycle() {
+  for (const Wave& w : waves_) {
+    const std::uint32_t count = w.last - w.first;
+    if (count == 0) continue;
+    // Dispatch only waves with real concurrency; narrow waves run inline
+    // (a cross-thread handoff costs more than a small cluster).
+    if (threads_ <= 1 || pool_.empty() || count < 2) {
+      for (std::uint32_t i = w.first; i < w.last; ++i) {
+        run_cluster(clusters_[i]);
+      }
+    } else {
+      dispatch_wave(w);
+    }
+  }
+  cleanup_unresolved();
+}
+
+}  // namespace liberty::core

@@ -6,119 +6,16 @@
 
 namespace liberty::core {
 
-// ---------------------------------------------------------------------------
-// SchedulerBase
-// ---------------------------------------------------------------------------
-
-SchedulerBase::SchedulerBase(Netlist& netlist) : netlist_(netlist) {
-  if (!netlist.finalized()) {
-    throw liberty::ElaborationError(
-        "scheduler requires a finalized netlist");
-  }
-}
-
-SchedulerBase::~SchedulerBase() { install_hooks(nullptr); }
-
-void SchedulerBase::install_hooks(ResolveHooks* h) {
-  for (const auto& c : netlist_.connections()) c->set_hooks(h);
-}
-
-std::uint64_t SchedulerBase::total_generation() const noexcept {
-  std::uint64_t sum = 0;
-  for (const auto& c : netlist_.connections()) sum += c->generation();
-  return sum;
-}
-
-void SchedulerBase::run_cycle(Cycle cycle) {
-  for (const auto& m : netlist_.modules()) m->now_ = cycle;
-  for (const auto& m : netlist_.modules()) m->cycle_start(cycle);
-  resolve_cycle();
-  for (const auto& c : netlist_.connections()) {
-    if (!c->fully_resolved()) {
-      throw liberty::SimulationError("internal: unresolved connection " +
-                                     c->describe() + " at end of cycle " +
-                                     std::to_string(cycle));
-    }
-  }
-  for (const auto& m : netlist_.modules()) m->end_of_cycle();
-  if (!observers_.empty()) {
-    for (const auto& c : netlist_.connections()) {
-      if (c->transferred()) {
-        for (const auto& obs : observers_) obs(*c, cycle);
-      }
-    }
-  }
-  for (const auto& c : netlist_.connections()) c->commit_and_reset();
-}
+namespace detail {
+thread_local ResolveCtx t_resolve_ctx;
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
-// DynamicScheduler
+// ScheduleGraph
 // ---------------------------------------------------------------------------
 
-DynamicScheduler::DynamicScheduler(Netlist& netlist)
-    : SchedulerBase(netlist), queued_(netlist.module_count(), false) {
-  install_hooks(this);
-}
-
-void DynamicScheduler::enqueue(Module* m) {
-  if (m == nullptr || queued_[m->id()]) return;
-  queued_[m->id()] = true;
-  worklist_.push_back(m);
-}
-
-void DynamicScheduler::drain() {
-  while (!worklist_.empty()) {
-    Module* m = worklist_.front();
-    worklist_.pop_front();
-    queued_[m->id()] = false;
-    call_react(*m);
-  }
-}
-
-void DynamicScheduler::on_forward_resolved(Connection& c) {
-  // Default control: the consumer accepts everything offered.
-  if (c.ack_mode() == AckMode::AutoAccept) apply_auto_accept(c);
-  enqueue(c.consumer());
-}
-
-void DynamicScheduler::on_backward_resolved(Connection& c) {
-  enqueue(c.producer());
-}
-
-void DynamicScheduler::resolve_cycle() {
-  // Every module reacts at least once per cycle so that purely combinational
-  // modules run even when none of their inputs produced an event (e.g. all
-  // inputs unconnected, reading port defaults).
-  for (const auto& m : netlist_.modules()) enqueue(m.get());
-  drain();
-  // Quiescent: no module will drive anything further without new
-  // information.  Default undriven forward channels one at a time (each may
-  // unblock reactions downstream), then undriven backward channels.
-  for (const auto& c : netlist_.connections()) {
-    if (!c->forward_known()) {
-      default_forward(*c);
-      drain();
-    }
-  }
-  for (const auto& c : netlist_.connections()) {
-    if (!c->ack_known()) {
-      default_backward(*c);
-      drain();
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// StaticScheduler
-// ---------------------------------------------------------------------------
-
-StaticScheduler::StaticScheduler(Netlist& netlist) : SchedulerBase(netlist) {
-  build_graph();
-  compute_sccs();
-}
-
-void StaticScheduler::build_graph() {
-  const auto& conns = netlist_.connections();
+void ScheduleGraph::build(Netlist& netlist) {
+  const auto& conns = netlist.connections();
   nodes_.resize(conns.size() * 2);
   succs_.resize(nodes_.size());
   preds_.resize(nodes_.size());
@@ -134,17 +31,38 @@ void StaticScheduler::build_graph() {
     }
   }
 
-  auto add_edge = [this](ChannelId from, ChannelId to) {
-    succs_[from].push_back(to);
-    preds_[to].push_back(from);
-  };
-
   // Kernel-driven acks depend exactly on their own forward channel.
   for (const auto& c : conns) {
     if (c->ack_mode() == AckMode::AutoAccept) {
-      add_edge(forward_channel(c->id()), backward_channel(c->id()));
+      const ChannelId f = forward_channel(c->id());
+      const ChannelId b = backward_channel(c->id());
+      succs_[f].push_back(b);
+      preds_[b].push_back(f);
     }
   }
+
+  add_module_edges(netlist, succs_, preds_);
+
+  // Deduplicate adjacency lists.
+  auto dedupe = [](std::vector<std::vector<ChannelId>>& adj) {
+    for (auto& lst : adj) {
+      std::sort(lst.begin(), lst.end());
+      lst.erase(std::unique(lst.begin(), lst.end()), lst.end());
+    }
+  };
+  dedupe(succs_);
+  dedupe(preds_);
+
+  compute_sccs();
+}
+
+void ScheduleGraph::add_module_edges(
+    Netlist& netlist, std::vector<std::vector<ChannelId>>& succs,
+    std::vector<std::vector<ChannelId>>& preds) {
+  auto add_edge = [&succs, &preds](ChannelId from, ChannelId to) {
+    succs[from].push_back(to);
+    preds[to].push_back(from);
+  };
 
   // Channels of a port, split by direction of observation from the owning
   // module's perspective.
@@ -159,7 +77,7 @@ void StaticScheduler::build_graph() {
     return out;
   };
 
-  for (const auto& m : netlist_.modules()) {
+  for (const auto& m : netlist.modules()) {
     Deps deps;
     m->declare_deps(deps);
 
@@ -205,19 +123,9 @@ void StaticScheduler::build_graph() {
       }
     }
   }
-
-  // Deduplicate adjacency lists.
-  auto dedupe = [](std::vector<std::vector<ChannelId>>& adj) {
-    for (auto& lst : adj) {
-      std::sort(lst.begin(), lst.end());
-      lst.erase(std::unique(lst.begin(), lst.end()), lst.end());
-    }
-  };
-  dedupe(succs_);
-  dedupe(preds_);
 }
 
-void StaticScheduler::compute_sccs() {
+void ScheduleGraph::compute_sccs() {
   // Iterative Tarjan.  SCCs are emitted sinks-first (reverse topological
   // order of the condensation); we reverse at the end.
   const std::size_t n = nodes_.size();
@@ -277,29 +185,255 @@ void StaticScheduler::compute_sccs() {
   }
   std::reverse(sccs_.begin(), sccs_.end());
 
-  self_loop_.resize(sccs_.size(), false);
+  scc_of_.assign(n, 0);
+  self_loop_.assign(sccs_.size(), 0);
   for (std::size_t i = 0; i < sccs_.size(); ++i) {
+    for (ChannelId ch : sccs_[i]) {
+      scc_of_[ch] = static_cast<std::uint32_t>(i);
+    }
     if (sccs_[i].size() == 1) {
       const ChannelId v = sccs_[i][0];
-      self_loop_[i] = std::binary_search(succs_[v].begin(), succs_[v].end(), v);
+      self_loop_[i] =
+          std::binary_search(succs_[v].begin(), succs_[v].end(), v) ? 1 : 0;
     }
   }
 }
 
-std::size_t StaticScheduler::largest_scc() const noexcept {
+std::size_t ScheduleGraph::largest_scc() const noexcept {
   std::size_t best = 0;
   for (const auto& s : sccs_) best = std::max(best, s.size());
   return best;
 }
 
-bool StaticScheduler::node_resolved(ChannelId id) const {
-  const Node& n = nodes_[id];
+// ---------------------------------------------------------------------------
+// SchedulerBase
+// ---------------------------------------------------------------------------
+
+SchedulerBase::SchedulerBase(Netlist& netlist) : netlist_(netlist) {
+  if (!netlist.finalized()) {
+    throw liberty::ElaborationError(
+        "scheduler requires a finalized netlist");
+  }
+  module_tape_.reserve(netlist.module_count());
+  for (const auto& m : netlist.modules()) module_tape_.push_back(m.get());
+  conn_tape_.reserve(netlist.connection_count());
+  for (const auto& c : netlist.connections()) conn_tape_.push_back(c.get());
+  install_hooks(this);
+}
+
+SchedulerBase::~SchedulerBase() { install_hooks(nullptr); }
+
+void SchedulerBase::install_hooks(ResolveHooks* h) {
+  for (const auto& c : netlist_.connections()) c->set_hooks(h);
+}
+
+std::uint64_t SchedulerBase::total_generation() const noexcept {
+  std::uint64_t sum = 0;
+  for (const Connection* c : conn_tape_) sum += c->generation();
+  return sum;
+}
+
+void SchedulerBase::absorb(const detail::ResolveCtx& delta) {
+  cycle_resolutions_ += delta.resolutions;
+  react_calls_ += delta.reacts;
+  defaults_ += delta.defaults;
+  cycle_transferred_.insert(cycle_transferred_.end(),
+                            delta.transferred.begin(),
+                            delta.transferred.end());
+}
+
+void SchedulerBase::verify_resolved(Cycle cycle) const {
+#if defined(LIBERTY_CHECKED_KERNEL)
+  constexpr bool kChecked = true;
+#else
+  constexpr bool kChecked = false;
+#endif
+  // Cheap always-on aggregate check: every channel resolves exactly once per
+  // cycle, so the per-cycle resolution count must be 2x the connection
+  // count.  The full per-connection audit (which also produces a precise
+  // diagnostic) runs only in checked builds or when the aggregate is off
+  // (e.g. a channel was driven outside run_cycle).
+  const std::uint64_t expected = 2 * conn_tape_.size();
+  if (cycle_resolutions_ == expected && !kChecked) return;
+  for (const Connection* c : conn_tape_) {
+    if (!c->fully_resolved()) {
+      throw liberty::SimulationError("internal: unresolved connection " +
+                                     c->describe() + " at end of cycle " +
+                                     std::to_string(cycle));
+    }
+  }
+}
+
+void SchedulerBase::run_cycle(Cycle cycle) {
+  detail::ResolveCtx& ctx = detail::t_resolve_ctx;
+  const std::uint64_t r0 = ctx.resolutions;
+  const std::uint64_t k0 = ctx.reacts;
+  const std::uint64_t d0 = ctx.defaults;
+  ctx.transferred.clear();
+  cycle_resolutions_ = 0;
+  cycle_transferred_.clear();
+
+  for (Module* m : module_tape_) {
+    m->now_ = cycle;
+    m->cycle_start(cycle);
+  }
+
+  resolve_cycle();
+
+  {
+    detail::ResolveCtx delta;
+    delta.resolutions = ctx.resolutions - r0;
+    delta.reacts = ctx.reacts - k0;
+    delta.defaults = ctx.defaults - d0;
+    delta.transferred = std::move(ctx.transferred);
+    ctx.transferred.clear();
+    absorb(delta);
+  }
+
+  verify_resolved(cycle);
+
+  for (Module* m : module_tape_) m->end_of_cycle();
+
+  // Commit transfers from the dirty list in canonical (connection id) order
+  // so observer streams are identical across schedulers; concurrent forward/
+  // backward resolution may record a transfer twice, hence the unique().
+  std::vector<Connection*>& dirty = cycle_transferred_;
+  std::sort(dirty.begin(), dirty.end(),
+            [](const Connection* a, const Connection* b) {
+              return a->id() < b->id();
+            });
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  for (Connection* c : dirty) {
+    c->note_transfer();
+    for (const auto& obs : observers_) obs(*c, cycle);
+  }
+
+  for (Connection* c : conn_tape_) c->reset_channels();
+}
+
+// ---------------------------------------------------------------------------
+// DynamicScheduler
+// ---------------------------------------------------------------------------
+
+DynamicScheduler::DynamicScheduler(Netlist& netlist) : SchedulerBase(netlist) {
+  const std::size_t n = netlist.module_count();
+  std::size_t cap = 2;
+  while (cap < n + 1) cap <<= 1;
+  ring_.resize(cap);
+  mask_ = cap - 1;
+  queued_stamp_.assign(n, 0);
+}
+
+void DynamicScheduler::enqueue(Module* m) {
+  if (m == nullptr) return;
+  const ModuleId id = m->id();
+  if (id >= queued_stamp_.size()) {
+    throw liberty::SimulationError(
+        "module '" + m->name() + "' (id " + std::to_string(id) +
+        ") is unknown to this scheduler; the netlist grew after scheduler "
+        "construction — rebuild the simulator after adding modules");
+  }
+  if (queued_stamp_[id] == epoch_) return;
+  queued_stamp_[id] = epoch_;
+  ring_[tail_] = m;
+  tail_ = (tail_ + 1) & mask_;
+}
+
+void DynamicScheduler::drain() {
+  while (head_ != tail_) {
+    Module* m = ring_[head_];
+    head_ = (head_ + 1) & mask_;
+    queued_stamp_[m->id()] = epoch_ - 1;
+    call_react(*m);
+  }
+}
+
+void DynamicScheduler::on_forward_resolved(Connection& c) {
+  note_resolved(c);
+  // Default control: the consumer accepts everything offered.
+  if (c.ack_mode() == AckMode::AutoAccept) apply_auto_accept(c);
+  enqueue(c.consumer());
+}
+
+void DynamicScheduler::on_backward_resolved(Connection& c) {
+  note_resolved(c);
+  enqueue(c.producer());
+}
+
+void DynamicScheduler::resolve_cycle() {
+  // Every module reacts at least once per cycle so that purely combinational
+  // modules run even when none of their inputs produced an event (e.g. all
+  // inputs unconnected, reading port defaults).
+  for (Module* m : module_tape_) enqueue(m);
+  drain();
+  // Quiescent: no module will drive anything further without new
+  // information.  Default undriven forward channels one at a time (each may
+  // unblock reactions downstream), then undriven backward channels.
+  for (Connection* c : conn_tape_) {
+    if (!c->forward_known()) {
+      default_forward(*c);
+      drain();
+    }
+  }
+  for (Connection* c : conn_tape_) {
+    if (!c->ack_known()) {
+      default_backward(*c);
+      drain();
+    }
+  }
+  // The ring is empty; bumping the epoch un-queues every mark in O(1) so
+  // the next cycle (whose cycle_start drives enqueue reactions) starts
+  // clean.
+  ++epoch_;
+}
+
+// ---------------------------------------------------------------------------
+// AnalyzedScheduler
+// ---------------------------------------------------------------------------
+
+AnalyzedScheduler::AnalyzedScheduler(Netlist& netlist)
+    : SchedulerBase(netlist) {
+  graph_.build(netlist);
+
+  // Precompute per-SCC execution state so run_scc does no per-cycle driver
+  // discovery, sorting, or allocation.
+  const auto& sccs = graph_.sccs();
+  scc_drivers_.resize(sccs.size());
+  scc_order_.resize(sccs.size());
+  for (std::size_t i = 0; i < sccs.size(); ++i) {
+    if (sccs[i].size() == 1 && !graph_.self_loop(i)) continue;
+
+    // Distinct driver modules, in order of first appearance.
+    for (ChannelId ch : sccs[i]) {
+      Module* d = graph_.nodes()[ch].driver;
+      if (d != nullptr && std::find(scc_drivers_[i].begin(),
+                                    scc_drivers_[i].end(),
+                                    d) == scc_drivers_[i].end()) {
+        scc_drivers_[i].push_back(d);
+      }
+    }
+
+    // Channels are defaulted forwards-first so that a gated or auto ack
+    // never has to wait on an unknown offer within the group.
+    scc_order_[i] = sccs[i];
+    std::sort(scc_order_[i].begin(), scc_order_[i].end(),
+              [this](ChannelId a, ChannelId b) {
+                const bool af = graph_.nodes()[a].kind == ChannelKind::Forward;
+                const bool bf = graph_.nodes()[b].kind == ChannelKind::Forward;
+                if (af != bf) return af;
+                return a < b;
+              });
+  }
+}
+
+bool AnalyzedScheduler::node_resolved(ChannelId id) const {
+  const ScheduleGraph::Node& n = graph_.nodes()[id];
   return n.kind == ChannelKind::Forward ? n.conn->forward_known()
                                         : n.conn->ack_known();
 }
 
-void StaticScheduler::execute_node(ChannelId id) {
-  const Node& n = nodes_[id];
+void AnalyzedScheduler::execute_node(ChannelId id) {
+  const ScheduleGraph::Node& n = graph_.nodes()[id];
   Connection& c = *n.conn;
   if (n.kind == ChannelKind::Forward) {
     if (c.forward_known()) return;
@@ -318,46 +452,28 @@ void StaticScheduler::execute_node(ChannelId id) {
   }
 }
 
-void StaticScheduler::run_scc(const std::vector<ChannelId>& group) {
-  // Distinct driver modules of the group.
-  std::vector<Module*> drivers;
-  for (ChannelId ch : group) {
-    Module* d = nodes_[ch].driver;
-    if (d != nullptr &&
-        std::find(drivers.begin(), drivers.end(), d) == drivers.end()) {
-      drivers.push_back(d);
-    }
-  }
-
-  // Channels are defaulted forwards-first so that a gated or auto ack never
-  // has to wait on an unknown offer within the group.
-  std::vector<ChannelId> order = group;
-  std::sort(order.begin(), order.end(), [this](ChannelId a, ChannelId b) {
-    const bool af = nodes_[a].kind == ChannelKind::Forward;
-    const bool bf = nodes_[b].kind == ChannelKind::Forward;
-    if (af != bf) return af;
-    return a < b;
-  });
-
-  auto group_generation = [this, &group]() {
-    std::uint64_t sum = 0;
-    for (ChannelId ch : group) sum += nodes_[ch].conn->generation();
-    return sum;
-  };
+void AnalyzedScheduler::run_scc(std::size_t scc_index) {
+  const std::vector<ChannelId>& group = graph_.sccs()[scc_index];
+  const std::vector<Module*>& drivers = scc_drivers_[scc_index];
+  const std::vector<ChannelId>& order = scc_order_[scc_index];
+  // Progress is detected through the thread-local resolution counter (every
+  // resolution this thread causes is observed by the hooks), replacing the
+  // old O(group) generation polling per pass with an O(1) check.
+  const std::uint64_t* resolutions = &detail::t_resolve_ctx.resolutions;
 
   while (true) {
     // React to quiescence within the group.
     while (true) {
-      const std::uint64_t before = group_generation();
+      const std::uint64_t before = *resolutions;
       for (Module* d : drivers) call_react(*d);
       for (ChannelId ch : group) {
-        const Node& n = nodes_[ch];
+        const ScheduleGraph::Node& n = graph_.nodes()[ch];
         if (n.kind == ChannelKind::Backward && n.driver == nullptr &&
             n.conn->forward_known()) {
           apply_auto_accept(*n.conn);
         }
       }
-      if (group_generation() == before) break;
+      if (*resolutions == before) break;
     }
     // Default the first still-unresolved channel and go around again.
     ChannelId target = 0;
@@ -370,7 +486,7 @@ void StaticScheduler::run_scc(const std::vector<ChannelId>& group) {
       }
     }
     if (!found) return;
-    const Node& n = nodes_[target];
+    const ScheduleGraph::Node& n = graph_.nodes()[target];
     if (n.kind == ChannelKind::Forward) {
       default_forward(*n.conn);
     } else if (n.driver == nullptr) {
@@ -381,13 +497,15 @@ void StaticScheduler::run_scc(const std::vector<ChannelId>& group) {
   }
 }
 
-void StaticScheduler::cleanup_unresolved() {
+void AnalyzedScheduler::cleanup_unresolved() {
   // Rare endgame for channels the schedule could not attribute (e.g. a
   // gated ack whose intent was pending on a forward in a later SCC).
   // Mirrors the dynamic scheduler's quiesce-then-default loop globally.
+  const std::size_t n_nodes = graph_.nodes().size();
+  const std::uint64_t* resolutions = &detail::t_resolve_ctx.resolutions;
   while (true) {
     bool any = false;
-    for (ChannelId ch = 0; ch < nodes_.size(); ++ch) {
+    for (ChannelId ch = 0; ch < n_nodes; ++ch) {
       if (!node_resolved(ch)) {
         any = true;
         break;
@@ -395,16 +513,16 @@ void StaticScheduler::cleanup_unresolved() {
     }
     if (!any) return;
     while (true) {
-      const std::uint64_t before = total_generation();
-      for (const auto& m : netlist_.modules()) call_react(*m);
-      for (const auto& c : netlist_.connections()) {
+      const std::uint64_t before = *resolutions;
+      for (Module* m : module_tape_) call_react(*m);
+      for (Connection* c : conn_tape_) {
         if (c->ack_mode() == AckMode::AutoAccept && c->forward_known()) {
           apply_auto_accept(*c);
         }
       }
-      if (total_generation() == before) break;
+      if (*resolutions == before) break;
     }
-    for (ChannelId ch = 0; ch < nodes_.size(); ++ch) {
+    for (ChannelId ch = 0; ch < n_nodes; ++ch) {
       if (!node_resolved(ch)) {
         execute_node(ch);
         break;
@@ -413,13 +531,20 @@ void StaticScheduler::cleanup_unresolved() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// StaticScheduler
+// ---------------------------------------------------------------------------
+
+StaticScheduler::StaticScheduler(Netlist& netlist)
+    : AnalyzedScheduler(netlist) {}
+
 void StaticScheduler::resolve_cycle() {
-  for (std::size_t i = 0; i < sccs_.size(); ++i) {
-    const auto& group = sccs_[i];
-    if (group.size() == 1 && !self_loop_[i]) {
-      execute_node(group[0]);
+  const auto& sccs = graph_.sccs();
+  for (std::size_t i = 0; i < sccs.size(); ++i) {
+    if (sccs[i].size() == 1 && !graph_.self_loop(i)) {
+      execute_node(sccs[i][0]);
     } else {
-      run_scc(group);
+      run_scc(i);
     }
   }
   cleanup_unresolved();

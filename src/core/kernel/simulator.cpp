@@ -1,6 +1,19 @@
 #include "liberty/core/simulator.hpp"
 
+#include <string>
+
+#include "liberty/support/error.hpp"
+
 namespace liberty::core {
+
+SchedulerKind scheduler_kind_from_name(std::string_view name) {
+  if (name == "dyn" || name == "dynamic") return SchedulerKind::Dynamic;
+  if (name == "static") return SchedulerKind::Static;
+  if (name == "par" || name == "parallel") return SchedulerKind::Parallel;
+  throw liberty::ElaborationError("unknown scheduler kind '" +
+                                  std::string(name) +
+                                  "' (expected dyn|static|parallel)");
+}
 
 void Simulator::trace_transfers(std::ostream& os) {
   observe_transfers([&os](const Connection& c, Cycle cycle) {

@@ -34,7 +34,8 @@ struct NetSignature {
   std::vector<std::int64_t> stream;
 };
 
-NetSignature run_random_net(std::uint64_t seed, SchedulerKind kind) {
+NetSignature run_random_net(std::uint64_t seed, SchedulerKind kind,
+                            unsigned threads = 0) {
   Rng rng(seed);
   Netlist nl;
 
@@ -109,7 +110,7 @@ NetSignature run_random_net(std::uint64_t seed, SchedulerKind kind) {
     });
   }
 
-  Simulator sim(nl, kind);
+  Simulator sim(nl, kind, threads);
   sim.run(800);
   for (const auto& c : nl.connections()) sig.transfers += c->transfer_count();
   return sig;
@@ -123,6 +124,12 @@ TEST_P(RandomNet, SchedulersBitIdentical) {
   EXPECT_EQ(dyn.transfers, sta.transfers);
   EXPECT_EQ(dyn.stream, sta.stream);
   EXPECT_GT(dyn.transfers, 0u);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const NetSignature par =
+        run_random_net(GetParam(), SchedulerKind::Parallel, threads);
+    EXPECT_EQ(dyn.transfers, par.transfers) << "parallel/" << threads;
+    EXPECT_EQ(dyn.stream, par.stream) << "parallel/" << threads;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomNet,
@@ -136,31 +143,37 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomNet,
 class Conservation : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(Conservation, NoItemCreatedOrLost) {
-  Rng rng(GetParam());
-  Netlist nl;
-  const int count = 30 + static_cast<int>(rng.below(50));
-  auto& src = nl.make<Source>(
-      "src", params({{"kind", "counter"}, {"period", 1}, {"count", count}}));
-  auto& dm = nl.make<Demux>("dm", Params());
-  auto& arb = nl.make<Arbiter>("arb", Params());
-  auto& sink = nl.make<Sink>("sink", Params());
-  const std::size_t fan = 2 + rng.below(3);
-  dm.set_selector([fan](const Value& v) {
-    return static_cast<std::size_t>(v.as_int()) % fan;
-  });
-  nl.connect(src.out("out"), dm.in("in"));
-  for (std::size_t i = 0; i < fan; ++i) {
-    auto& q = nl.make<Queue>(
-        "q" + std::to_string(i),
-        params({{"depth", static_cast<int>(1 + rng.below(5))}}));
-    nl.connect_at(dm.out("out"), i, q.in("in"), 0);
-    nl.connect(q.out("out"), arb.in("in"));
-  }
-  nl.connect(arb.out("out"), sink.in("in"));
-  nl.finalize();
-  Simulator sim(nl);
-  sim.run(2000);
-  EXPECT_EQ(sink.consumed(), static_cast<std::uint64_t>(count));
+  const auto run = [&](SchedulerKind kind, unsigned threads) {
+    Rng rng(GetParam());
+    Netlist nl;
+    const int count = 30 + static_cast<int>(rng.below(50));
+    auto& src = nl.make<Source>(
+        "src", params({{"kind", "counter"}, {"period", 1}, {"count", count}}));
+    auto& dm = nl.make<Demux>("dm", Params());
+    auto& arb = nl.make<Arbiter>("arb", Params());
+    auto& sink = nl.make<Sink>("sink", Params());
+    const std::size_t fan = 2 + rng.below(3);
+    dm.set_selector([fan](const Value& v) {
+      return static_cast<std::size_t>(v.as_int()) % fan;
+    });
+    nl.connect(src.out("out"), dm.in("in"));
+    for (std::size_t i = 0; i < fan; ++i) {
+      auto& q = nl.make<Queue>(
+          "q" + std::to_string(i),
+          params({{"depth", static_cast<int>(1 + rng.below(5))}}));
+      nl.connect_at(dm.out("out"), i, q.in("in"), 0);
+      nl.connect(q.out("out"), arb.in("in"));
+    }
+    nl.connect(arb.out("out"), sink.in("in"));
+    nl.finalize();
+    Simulator sim(nl, kind, threads);
+    sim.run(2000);
+    EXPECT_EQ(sink.consumed(), static_cast<std::uint64_t>(count))
+        << "scheduler " << sim.scheduler().kind_name();
+  };
+  run(SchedulerKind::Dynamic, 0);
+  run(SchedulerKind::Static, 0);
+  run(SchedulerKind::Parallel, 2);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Conservation,

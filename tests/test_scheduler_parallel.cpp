@@ -1,0 +1,148 @@
+// Parallel wave scheduler: determinism against the semantics-defining
+// dynamic baseline (identical VCD waveforms, transfer traces and final
+// statistics at every thread count), schedule-shape introspection, and the
+// threads knob.  This binary carries the `tsan` ctest label: a
+// -DLIBERTY_SANITIZE=thread build runs it under ThreadSanitizer to check
+// the wave/cluster execution for data races.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "liberty/core/simulator.hpp"
+#include "liberty/core/vcd.hpp"
+#include "liberty/pcl/pcl.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using liberty::Value;
+using liberty::core::Netlist;
+using liberty::core::Params;
+using liberty::core::ParallelScheduler;
+using liberty::core::SchedulerKind;
+using liberty::core::Simulator;
+using namespace liberty::pcl;
+using liberty::test::params;
+
+// A deterministic netlist with independent lanes (parallelism to exploit),
+// an arbiter merge (multi-node SCC) and a demux fan-out (selector state).
+void build_mixed(Netlist& nl) {
+  auto& src = nl.make<Source>(
+      "src", params({{"kind", "counter"}, {"period", 1}, {"count", 200}}));
+  auto& dm = nl.make<Demux>("dm", Params());
+  dm.set_selector(
+      [](const Value& v) { return static_cast<std::size_t>(v.as_int() % 2); });
+  auto& arb = nl.make<Arbiter>("arb", Params());
+  auto& sink = nl.make<Sink>("sink", Params());
+  nl.connect(src.out("out"), dm.in("in"));
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto& q = nl.make<Queue>("q" + std::to_string(i),
+                             params({{"depth", static_cast<int>(2 + i)}}));
+    nl.connect_at(dm.out("out"), i, q.in("in"), 0);
+    nl.connect(q.out("out"), arb.in("in"));
+  }
+  nl.connect(arb.out("out"), sink.in("in"));
+
+  // Four independent pipelines alongside: the wave schedule should expose
+  // them as separately executable clusters.
+  for (int i = 0; i < 4; ++i) {
+    auto& s = nl.make<Source>(
+        "ls" + std::to_string(i),
+        params({{"kind", "counter"}, {"period", 1 + i % 2}}));
+    auto& d = nl.make<Delay>("ld" + std::to_string(i),
+                             params({{"latency", 1 + i}}));
+    auto& k = nl.make<Sink>("lk" + std::to_string(i), Params());
+    nl.connect(s.out("out"), d.in("in"));
+    nl.connect(d.out("out"), k.in("in"));
+  }
+}
+
+// Run `build` under a scheduler and capture everything observable: the VCD
+// waveform, the textual transfer trace, and the per-module statistics dump.
+std::string run_traced(void (*build)(Netlist&), SchedulerKind kind,
+                       unsigned threads) {
+  Netlist nl;
+  build(nl);
+  nl.finalize();
+  Simulator sim(nl, kind, threads);
+  std::ostringstream vcd;
+  liberty::core::VcdTracer tracer(nl, vcd);
+  tracer.attach(sim);
+  std::ostringstream transfers;
+  sim.trace_transfers(transfers);
+  sim.run(300);
+  tracer.finish();
+  std::ostringstream stats;
+  nl.dump_stats(stats);
+  return vcd.str() + "\n--transfers--\n" + transfers.str() + "\n--stats--\n" +
+         stats.str();
+}
+
+TEST(ParallelScheduler, TracesBitIdenticalToDynamicAtEveryThreadCount) {
+  const std::string baseline =
+      run_traced(build_mixed, SchedulerKind::Dynamic, 0);
+  ASSERT_NE(baseline.find("--transfers--"), std::string::npos);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    EXPECT_EQ(baseline, run_traced(build_mixed, SchedulerKind::Parallel,
+                                   threads))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelScheduler, MatchesStaticToo) {
+  EXPECT_EQ(run_traced(build_mixed, SchedulerKind::Static, 0),
+            run_traced(build_mixed, SchedulerKind::Parallel, 2));
+}
+
+TEST(ParallelScheduler, WaveShapeExposesIndependentLanes) {
+  Netlist nl;
+  build_mixed(nl);
+  nl.finalize();
+  ParallelScheduler sched(nl, 2);
+  EXPECT_GE(sched.wave_count(), 2u);
+  EXPECT_GT(sched.cluster_count(), sched.wave_count());
+  // The four independent pipelines plus the demux/arbiter diamond must
+  // yield at least four concurrently executable clusters in some wave.
+  EXPECT_GE(sched.max_wave_width(), 4u);
+}
+
+TEST(ParallelScheduler, ThreadsKnobNormalizes) {
+  Netlist nl;
+  build_mixed(nl);
+  nl.finalize();
+  ParallelScheduler defaulted(nl, 0);
+  EXPECT_GE(defaulted.threads(), 1u);  // 0 = hardware concurrency, >= 1
+  ParallelScheduler three(nl, 3);
+  EXPECT_EQ(three.threads(), 3u);
+  EXPECT_EQ(three.kind_name(), "parallel");
+}
+
+TEST(ParallelScheduler, StopRequestHonoured) {
+  const auto cycles_until_stop = [](SchedulerKind kind, unsigned threads) {
+    Netlist nl;
+    auto& src = nl.make<Source>(
+        "src", params({{"kind", "counter"}, {"period", 1}}));
+    auto& sink = nl.make<Sink>("sink", params({{"stop_after", 25}}));
+    nl.connect(src.out("out"), sink.in("in"));
+    nl.finalize();
+    Simulator sim(nl, kind, threads);
+    return sim.run(10'000);
+  };
+  const auto dyn = cycles_until_stop(SchedulerKind::Dynamic, 0);
+  EXPECT_LT(dyn, 10'000u);
+  EXPECT_EQ(dyn, cycles_until_stop(SchedulerKind::Parallel, 2));
+}
+
+TEST(ParallelScheduler, KindParsing) {
+  using liberty::core::scheduler_kind_from_name;
+  EXPECT_EQ(scheduler_kind_from_name("dyn"), SchedulerKind::Dynamic);
+  EXPECT_EQ(scheduler_kind_from_name("dynamic"), SchedulerKind::Dynamic);
+  EXPECT_EQ(scheduler_kind_from_name("static"), SchedulerKind::Static);
+  EXPECT_EQ(scheduler_kind_from_name("par"), SchedulerKind::Parallel);
+  EXPECT_EQ(scheduler_kind_from_name("parallel"), SchedulerKind::Parallel);
+  EXPECT_THROW((void)scheduler_kind_from_name("greedy"),
+               liberty::ElaborationError);
+}
+
+}  // namespace
