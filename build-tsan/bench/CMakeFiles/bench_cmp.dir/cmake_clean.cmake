@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cmp.dir/bench_cmp.cpp.o"
+  "CMakeFiles/bench_cmp.dir/bench_cmp.cpp.o.d"
+  "bench_cmp"
+  "bench_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_construction.dir/bench_construction.cpp.o"
+  "CMakeFiles/bench_construction.dir/bench_construction.cpp.o.d"
+  "bench_construction"
+  "bench_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

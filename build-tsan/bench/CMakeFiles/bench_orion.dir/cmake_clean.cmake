@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_orion.dir/bench_orion.cpp.o"
+  "CMakeFiles/bench_orion.dir/bench_orion.cpp.o.d"
+  "bench_orion"
+  "bench_orion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_orion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

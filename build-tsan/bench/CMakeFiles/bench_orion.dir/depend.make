@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_orion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reuse.dir/bench_reuse.cpp.o"
+  "CMakeFiles/bench_reuse.dir/bench_reuse.cpp.o.d"
+  "bench_reuse"
+  "bench_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensor.dir/bench_sensor.cpp.o"
+  "CMakeFiles/bench_sensor.dir/bench_sensor.cpp.o.d"
+  "bench_sensor"
+  "bench_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sos.dir/bench_sos.cpp.o"
+  "CMakeFiles/bench_sos.dir/bench_sos.cpp.o.d"
+  "bench_sos"
+  "bench_sos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp.dir/cmp.cpp.o"
+  "CMakeFiles/cmp.dir/cmp.cpp.o.d"
+  "cmp"
+  "cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid.dir/grid.cpp.o"
+  "CMakeFiles/grid.dir/grid.cpp.o.d"
+  "grid"
+  "grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lss_run.dir/lss_run.cpp.o"
+  "CMakeFiles/lss_run.dir/lss_run.cpp.o.d"
+  "lss_run"
+  "lss_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lss_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

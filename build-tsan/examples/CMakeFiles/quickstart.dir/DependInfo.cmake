@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/liberty_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pcl/CMakeFiles/liberty_pcl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/upl/CMakeFiles/liberty_upl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ccl/CMakeFiles/liberty_ccl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mpl/CMakeFiles/liberty_mpl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nil/CMakeFiles/liberty_nil.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/liberty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

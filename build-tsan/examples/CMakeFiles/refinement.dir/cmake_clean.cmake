@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement.dir/refinement.cpp.o"
+  "CMakeFiles/refinement.dir/refinement.cpp.o.d"
+  "refinement"
+  "refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_node.dir/sensor_node.cpp.o"
+  "CMakeFiles/sensor_node.dir/sensor_node.cpp.o.d"
+  "sensor_node"
+  "sensor_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

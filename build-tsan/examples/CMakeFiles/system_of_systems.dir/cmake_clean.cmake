@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_of_systems.dir/system_of_systems.cpp.o"
+  "CMakeFiles/system_of_systems.dir/system_of_systems.cpp.o.d"
+  "system_of_systems"
+  "system_of_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_of_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

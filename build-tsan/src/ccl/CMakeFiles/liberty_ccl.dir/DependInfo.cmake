@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccl/fabric.cpp" "src/ccl/CMakeFiles/liberty_ccl.dir/fabric.cpp.o" "gcc" "src/ccl/CMakeFiles/liberty_ccl.dir/fabric.cpp.o.d"
+  "/root/repo/src/ccl/registry.cpp" "src/ccl/CMakeFiles/liberty_ccl.dir/registry.cpp.o" "gcc" "src/ccl/CMakeFiles/liberty_ccl.dir/registry.cpp.o.d"
+  "/root/repo/src/ccl/router.cpp" "src/ccl/CMakeFiles/liberty_ccl.dir/router.cpp.o" "gcc" "src/ccl/CMakeFiles/liberty_ccl.dir/router.cpp.o.d"
+  "/root/repo/src/ccl/topology.cpp" "src/ccl/CMakeFiles/liberty_ccl.dir/topology.cpp.o" "gcc" "src/ccl/CMakeFiles/liberty_ccl.dir/topology.cpp.o.d"
+  "/root/repo/src/ccl/traffic.cpp" "src/ccl/CMakeFiles/liberty_ccl.dir/traffic.cpp.o" "gcc" "src/ccl/CMakeFiles/liberty_ccl.dir/traffic.cpp.o.d"
+  "/root/repo/src/ccl/wireless.cpp" "src/ccl/CMakeFiles/liberty_ccl.dir/wireless.cpp.o" "gcc" "src/ccl/CMakeFiles/liberty_ccl.dir/wireless.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/liberty_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pcl/CMakeFiles/liberty_pcl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/liberty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

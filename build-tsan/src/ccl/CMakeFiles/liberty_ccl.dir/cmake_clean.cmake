@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_ccl.dir/fabric.cpp.o"
+  "CMakeFiles/liberty_ccl.dir/fabric.cpp.o.d"
+  "CMakeFiles/liberty_ccl.dir/registry.cpp.o"
+  "CMakeFiles/liberty_ccl.dir/registry.cpp.o.d"
+  "CMakeFiles/liberty_ccl.dir/router.cpp.o"
+  "CMakeFiles/liberty_ccl.dir/router.cpp.o.d"
+  "CMakeFiles/liberty_ccl.dir/topology.cpp.o"
+  "CMakeFiles/liberty_ccl.dir/topology.cpp.o.d"
+  "CMakeFiles/liberty_ccl.dir/traffic.cpp.o"
+  "CMakeFiles/liberty_ccl.dir/traffic.cpp.o.d"
+  "CMakeFiles/liberty_ccl.dir/wireless.cpp.o"
+  "CMakeFiles/liberty_ccl.dir/wireless.cpp.o.d"
+  "libliberty_ccl.a"
+  "libliberty_ccl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_ccl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

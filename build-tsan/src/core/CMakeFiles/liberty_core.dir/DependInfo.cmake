@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/kernel/module.cpp" "src/core/CMakeFiles/liberty_core.dir/kernel/module.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/kernel/module.cpp.o.d"
+  "/root/repo/src/core/kernel/netlist.cpp" "src/core/CMakeFiles/liberty_core.dir/kernel/netlist.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/kernel/netlist.cpp.o.d"
+  "/root/repo/src/core/kernel/parallel_scheduler.cpp" "src/core/CMakeFiles/liberty_core.dir/kernel/parallel_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/kernel/parallel_scheduler.cpp.o.d"
+  "/root/repo/src/core/kernel/registry.cpp" "src/core/CMakeFiles/liberty_core.dir/kernel/registry.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/kernel/registry.cpp.o.d"
+  "/root/repo/src/core/kernel/scheduler.cpp" "src/core/CMakeFiles/liberty_core.dir/kernel/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/kernel/scheduler.cpp.o.d"
+  "/root/repo/src/core/kernel/simulator.cpp" "src/core/CMakeFiles/liberty_core.dir/kernel/simulator.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/kernel/simulator.cpp.o.d"
+  "/root/repo/src/core/kernel/vcd.cpp" "src/core/CMakeFiles/liberty_core.dir/kernel/vcd.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/kernel/vcd.cpp.o.d"
+  "/root/repo/src/core/lss/elaborator.cpp" "src/core/CMakeFiles/liberty_core.dir/lss/elaborator.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/lss/elaborator.cpp.o.d"
+  "/root/repo/src/core/lss/lexer.cpp" "src/core/CMakeFiles/liberty_core.dir/lss/lexer.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/lss/lexer.cpp.o.d"
+  "/root/repo/src/core/lss/parser.cpp" "src/core/CMakeFiles/liberty_core.dir/lss/parser.cpp.o" "gcc" "src/core/CMakeFiles/liberty_core.dir/lss/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/liberty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

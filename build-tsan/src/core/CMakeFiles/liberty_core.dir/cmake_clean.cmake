@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_core.dir/kernel/module.cpp.o"
+  "CMakeFiles/liberty_core.dir/kernel/module.cpp.o.d"
+  "CMakeFiles/liberty_core.dir/kernel/netlist.cpp.o"
+  "CMakeFiles/liberty_core.dir/kernel/netlist.cpp.o.d"
+  "CMakeFiles/liberty_core.dir/kernel/parallel_scheduler.cpp.o"
+  "CMakeFiles/liberty_core.dir/kernel/parallel_scheduler.cpp.o.d"
+  "CMakeFiles/liberty_core.dir/kernel/registry.cpp.o"
+  "CMakeFiles/liberty_core.dir/kernel/registry.cpp.o.d"
+  "CMakeFiles/liberty_core.dir/kernel/scheduler.cpp.o"
+  "CMakeFiles/liberty_core.dir/kernel/scheduler.cpp.o.d"
+  "CMakeFiles/liberty_core.dir/kernel/simulator.cpp.o"
+  "CMakeFiles/liberty_core.dir/kernel/simulator.cpp.o.d"
+  "CMakeFiles/liberty_core.dir/kernel/vcd.cpp.o"
+  "CMakeFiles/liberty_core.dir/kernel/vcd.cpp.o.d"
+  "CMakeFiles/liberty_core.dir/lss/elaborator.cpp.o"
+  "CMakeFiles/liberty_core.dir/lss/elaborator.cpp.o.d"
+  "CMakeFiles/liberty_core.dir/lss/lexer.cpp.o"
+  "CMakeFiles/liberty_core.dir/lss/lexer.cpp.o.d"
+  "CMakeFiles/liberty_core.dir/lss/parser.cpp.o"
+  "CMakeFiles/liberty_core.dir/lss/parser.cpp.o.d"
+  "libliberty_core.a"
+  "libliberty_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

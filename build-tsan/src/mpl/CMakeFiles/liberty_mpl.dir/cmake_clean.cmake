@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_mpl.dir/directory.cpp.o"
+  "CMakeFiles/liberty_mpl.dir/directory.cpp.o.d"
+  "CMakeFiles/liberty_mpl.dir/dma.cpp.o"
+  "CMakeFiles/liberty_mpl.dir/dma.cpp.o.d"
+  "CMakeFiles/liberty_mpl.dir/ordering.cpp.o"
+  "CMakeFiles/liberty_mpl.dir/ordering.cpp.o.d"
+  "CMakeFiles/liberty_mpl.dir/registry.cpp.o"
+  "CMakeFiles/liberty_mpl.dir/registry.cpp.o.d"
+  "CMakeFiles/liberty_mpl.dir/snoop.cpp.o"
+  "CMakeFiles/liberty_mpl.dir/snoop.cpp.o.d"
+  "libliberty_mpl.a"
+  "libliberty_mpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_mpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_nil.dir/ethernet.cpp.o"
+  "CMakeFiles/liberty_nil.dir/ethernet.cpp.o.d"
+  "CMakeFiles/liberty_nil.dir/fabric_adapter.cpp.o"
+  "CMakeFiles/liberty_nil.dir/fabric_adapter.cpp.o.d"
+  "CMakeFiles/liberty_nil.dir/nic.cpp.o"
+  "CMakeFiles/liberty_nil.dir/nic.cpp.o.d"
+  "CMakeFiles/liberty_nil.dir/registry.cpp.o"
+  "CMakeFiles/liberty_nil.dir/registry.cpp.o.d"
+  "libliberty_nil.a"
+  "libliberty_nil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_nil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libliberty_nil.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for liberty_nil.
+# This may be replaced when dependencies are built.

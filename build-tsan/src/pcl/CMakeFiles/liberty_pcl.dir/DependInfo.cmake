@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcl/arbiter.cpp" "src/pcl/CMakeFiles/liberty_pcl.dir/arbiter.cpp.o" "gcc" "src/pcl/CMakeFiles/liberty_pcl.dir/arbiter.cpp.o.d"
+  "/root/repo/src/pcl/buffer.cpp" "src/pcl/CMakeFiles/liberty_pcl.dir/buffer.cpp.o" "gcc" "src/pcl/CMakeFiles/liberty_pcl.dir/buffer.cpp.o.d"
+  "/root/repo/src/pcl/delay.cpp" "src/pcl/CMakeFiles/liberty_pcl.dir/delay.cpp.o" "gcc" "src/pcl/CMakeFiles/liberty_pcl.dir/delay.cpp.o.d"
+  "/root/repo/src/pcl/memory_array.cpp" "src/pcl/CMakeFiles/liberty_pcl.dir/memory_array.cpp.o" "gcc" "src/pcl/CMakeFiles/liberty_pcl.dir/memory_array.cpp.o.d"
+  "/root/repo/src/pcl/misc.cpp" "src/pcl/CMakeFiles/liberty_pcl.dir/misc.cpp.o" "gcc" "src/pcl/CMakeFiles/liberty_pcl.dir/misc.cpp.o.d"
+  "/root/repo/src/pcl/queue.cpp" "src/pcl/CMakeFiles/liberty_pcl.dir/queue.cpp.o" "gcc" "src/pcl/CMakeFiles/liberty_pcl.dir/queue.cpp.o.d"
+  "/root/repo/src/pcl/registry.cpp" "src/pcl/CMakeFiles/liberty_pcl.dir/registry.cpp.o" "gcc" "src/pcl/CMakeFiles/liberty_pcl.dir/registry.cpp.o.d"
+  "/root/repo/src/pcl/routing.cpp" "src/pcl/CMakeFiles/liberty_pcl.dir/routing.cpp.o" "gcc" "src/pcl/CMakeFiles/liberty_pcl.dir/routing.cpp.o.d"
+  "/root/repo/src/pcl/sink.cpp" "src/pcl/CMakeFiles/liberty_pcl.dir/sink.cpp.o" "gcc" "src/pcl/CMakeFiles/liberty_pcl.dir/sink.cpp.o.d"
+  "/root/repo/src/pcl/source.cpp" "src/pcl/CMakeFiles/liberty_pcl.dir/source.cpp.o" "gcc" "src/pcl/CMakeFiles/liberty_pcl.dir/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/liberty_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/liberty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_pcl.dir/arbiter.cpp.o"
+  "CMakeFiles/liberty_pcl.dir/arbiter.cpp.o.d"
+  "CMakeFiles/liberty_pcl.dir/buffer.cpp.o"
+  "CMakeFiles/liberty_pcl.dir/buffer.cpp.o.d"
+  "CMakeFiles/liberty_pcl.dir/delay.cpp.o"
+  "CMakeFiles/liberty_pcl.dir/delay.cpp.o.d"
+  "CMakeFiles/liberty_pcl.dir/memory_array.cpp.o"
+  "CMakeFiles/liberty_pcl.dir/memory_array.cpp.o.d"
+  "CMakeFiles/liberty_pcl.dir/misc.cpp.o"
+  "CMakeFiles/liberty_pcl.dir/misc.cpp.o.d"
+  "CMakeFiles/liberty_pcl.dir/queue.cpp.o"
+  "CMakeFiles/liberty_pcl.dir/queue.cpp.o.d"
+  "CMakeFiles/liberty_pcl.dir/registry.cpp.o"
+  "CMakeFiles/liberty_pcl.dir/registry.cpp.o.d"
+  "CMakeFiles/liberty_pcl.dir/routing.cpp.o"
+  "CMakeFiles/liberty_pcl.dir/routing.cpp.o.d"
+  "CMakeFiles/liberty_pcl.dir/sink.cpp.o"
+  "CMakeFiles/liberty_pcl.dir/sink.cpp.o.d"
+  "CMakeFiles/liberty_pcl.dir/source.cpp.o"
+  "CMakeFiles/liberty_pcl.dir/source.cpp.o.d"
+  "libliberty_pcl.a"
+  "libliberty_pcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_pcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for liberty_pcl.
+# This may be replaced when dependencies are built.

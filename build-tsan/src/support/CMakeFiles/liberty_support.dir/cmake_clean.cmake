@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_support.dir/stats.cpp.o"
+  "CMakeFiles/liberty_support.dir/stats.cpp.o.d"
+  "CMakeFiles/liberty_support.dir/strings.cpp.o"
+  "CMakeFiles/liberty_support.dir/strings.cpp.o.d"
+  "CMakeFiles/liberty_support.dir/value.cpp.o"
+  "CMakeFiles/liberty_support.dir/value.cpp.o.d"
+  "libliberty_support.a"
+  "libliberty_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/upl/cache.cpp" "src/upl/CMakeFiles/liberty_upl.dir/cache.cpp.o" "gcc" "src/upl/CMakeFiles/liberty_upl.dir/cache.cpp.o.d"
+  "/root/repo/src/upl/isa.cpp" "src/upl/CMakeFiles/liberty_upl.dir/isa.cpp.o" "gcc" "src/upl/CMakeFiles/liberty_upl.dir/isa.cpp.o.d"
+  "/root/repo/src/upl/memctl.cpp" "src/upl/CMakeFiles/liberty_upl.dir/memctl.cpp.o" "gcc" "src/upl/CMakeFiles/liberty_upl.dir/memctl.cpp.o.d"
+  "/root/repo/src/upl/ooo_core.cpp" "src/upl/CMakeFiles/liberty_upl.dir/ooo_core.cpp.o" "gcc" "src/upl/CMakeFiles/liberty_upl.dir/ooo_core.cpp.o.d"
+  "/root/repo/src/upl/pipeline.cpp" "src/upl/CMakeFiles/liberty_upl.dir/pipeline.cpp.o" "gcc" "src/upl/CMakeFiles/liberty_upl.dir/pipeline.cpp.o.d"
+  "/root/repo/src/upl/predictors.cpp" "src/upl/CMakeFiles/liberty_upl.dir/predictors.cpp.o" "gcc" "src/upl/CMakeFiles/liberty_upl.dir/predictors.cpp.o.d"
+  "/root/repo/src/upl/registry.cpp" "src/upl/CMakeFiles/liberty_upl.dir/registry.cpp.o" "gcc" "src/upl/CMakeFiles/liberty_upl.dir/registry.cpp.o.d"
+  "/root/repo/src/upl/simple_cpu.cpp" "src/upl/CMakeFiles/liberty_upl.dir/simple_cpu.cpp.o" "gcc" "src/upl/CMakeFiles/liberty_upl.dir/simple_cpu.cpp.o.d"
+  "/root/repo/src/upl/workloads.cpp" "src/upl/CMakeFiles/liberty_upl.dir/workloads.cpp.o" "gcc" "src/upl/CMakeFiles/liberty_upl.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/liberty_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pcl/CMakeFiles/liberty_pcl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/liberty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_upl.dir/cache.cpp.o"
+  "CMakeFiles/liberty_upl.dir/cache.cpp.o.d"
+  "CMakeFiles/liberty_upl.dir/isa.cpp.o"
+  "CMakeFiles/liberty_upl.dir/isa.cpp.o.d"
+  "CMakeFiles/liberty_upl.dir/memctl.cpp.o"
+  "CMakeFiles/liberty_upl.dir/memctl.cpp.o.d"
+  "CMakeFiles/liberty_upl.dir/ooo_core.cpp.o"
+  "CMakeFiles/liberty_upl.dir/ooo_core.cpp.o.d"
+  "CMakeFiles/liberty_upl.dir/pipeline.cpp.o"
+  "CMakeFiles/liberty_upl.dir/pipeline.cpp.o.d"
+  "CMakeFiles/liberty_upl.dir/predictors.cpp.o"
+  "CMakeFiles/liberty_upl.dir/predictors.cpp.o.d"
+  "CMakeFiles/liberty_upl.dir/registry.cpp.o"
+  "CMakeFiles/liberty_upl.dir/registry.cpp.o.d"
+  "CMakeFiles/liberty_upl.dir/simple_cpu.cpp.o"
+  "CMakeFiles/liberty_upl.dir/simple_cpu.cpp.o.d"
+  "CMakeFiles/liberty_upl.dir/workloads.cpp.o"
+  "CMakeFiles/liberty_upl.dir/workloads.cpp.o.d"
+  "libliberty_upl.a"
+  "libliberty_upl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_upl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

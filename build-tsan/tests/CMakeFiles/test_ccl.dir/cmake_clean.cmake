@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ccl.dir/test_ccl.cpp.o"
+  "CMakeFiles/test_ccl.dir/test_ccl.cpp.o.d"
+  "test_ccl"
+  "test_ccl.pdb"
+  "test_ccl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ccl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

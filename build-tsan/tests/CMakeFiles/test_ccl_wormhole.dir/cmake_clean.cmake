@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ccl_wormhole.dir/test_ccl_wormhole.cpp.o"
+  "CMakeFiles/test_ccl_wormhole.dir/test_ccl_wormhole.cpp.o.d"
+  "test_ccl_wormhole"
+  "test_ccl_wormhole.pdb"
+  "test_ccl_wormhole[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ccl_wormhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lss.dir/test_lss.cpp.o"
+  "CMakeFiles/test_lss.dir/test_lss.cpp.o.d"
+  "test_lss"
+  "test_lss.pdb"
+  "test_lss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpl.dir/test_mpl.cpp.o"
+  "CMakeFiles/test_mpl.dir/test_mpl.cpp.o.d"
+  "test_mpl"
+  "test_mpl.pdb"
+  "test_mpl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

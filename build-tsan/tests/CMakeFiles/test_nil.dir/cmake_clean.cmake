@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nil.dir/test_nil.cpp.o"
+  "CMakeFiles/test_nil.dir/test_nil.cpp.o.d"
+  "test_nil"
+  "test_nil.pdb"
+  "test_nil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

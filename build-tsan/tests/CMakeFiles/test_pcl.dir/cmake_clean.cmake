@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcl.dir/test_pcl.cpp.o"
+  "CMakeFiles/test_pcl.dir/test_pcl.cpp.o.d"
+  "test_pcl"
+  "test_pcl.pdb"
+  "test_pcl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_props.dir/test_props.cpp.o"
+  "CMakeFiles/test_props.dir/test_props.cpp.o.d"
+  "test_props"
+  "test_props.pdb"
+  "test_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

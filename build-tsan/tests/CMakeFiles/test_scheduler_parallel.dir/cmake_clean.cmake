@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_parallel.dir/test_scheduler_parallel.cpp.o"
+  "CMakeFiles/test_scheduler_parallel.dir/test_scheduler_parallel.cpp.o.d"
+  "test_scheduler_parallel"
+  "test_scheduler_parallel.pdb"
+  "test_scheduler_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

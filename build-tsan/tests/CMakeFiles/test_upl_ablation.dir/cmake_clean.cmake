@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upl_ablation.dir/test_upl_ablation.cpp.o"
+  "CMakeFiles/test_upl_ablation.dir/test_upl_ablation.cpp.o.d"
+  "test_upl_ablation"
+  "test_upl_ablation.pdb"
+  "test_upl_ablation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upl_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upl_core.dir/test_upl_core.cpp.o"
+  "CMakeFiles/test_upl_core.dir/test_upl_core.cpp.o.d"
+  "test_upl_core"
+  "test_upl_core.pdb"
+  "test_upl_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

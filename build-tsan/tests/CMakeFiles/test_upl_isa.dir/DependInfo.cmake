@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_upl_isa.cpp" "tests/CMakeFiles/test_upl_isa.dir/test_upl_isa.cpp.o" "gcc" "tests/CMakeFiles/test_upl_isa.dir/test_upl_isa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/liberty_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pcl/CMakeFiles/liberty_pcl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/upl/CMakeFiles/liberty_upl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/liberty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upl_isa.dir/test_upl_isa.cpp.o"
+  "CMakeFiles/test_upl_isa.dir/test_upl_isa.cpp.o.d"
+  "test_upl_isa"
+  "test_upl_isa.pdb"
+  "test_upl_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upl_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upl_mem.dir/test_upl_mem.cpp.o"
+  "CMakeFiles/test_upl_mem.dir/test_upl_mem.cpp.o.d"
+  "test_upl_mem"
+  "test_upl_mem.pdb"
+  "test_upl_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upl_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_pcl[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_lss[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_upl_isa[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_upl_core[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ccl[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mpl[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_nil[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_props[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_scheduler_parallel[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_upl_mem[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ccl_topology[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_upl_ablation[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ccl_wormhole[1]_include.cmake")
