@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# One-command verification: build and test the release configuration, then
+# the ASan+UBSan configuration (and ThreadSanitizer if requested).
+#
+#   scripts/check.sh            # release + asan-ubsan
+#   scripts/check.sh --tsan     # additionally build tsan and run `ctest -L tsan`
+#   scripts/check.sh --quick    # release only, skipping the `fuzz` label
+#
+# Exits non-zero on the first failing build or test.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tsan=0
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) run_tsan=1 ;;
+    --quick) quick=1 ;;
+    *) echo "usage: $0 [--tsan] [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== release build ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build -j "$jobs"
+echo "=== release tests ==="
+if [ "$quick" -eq 1 ]; then
+  ctest --test-dir build --output-on-failure -j "$jobs" -LE fuzz
+  exit 0
+fi
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "=== asan+ubsan build ==="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLIBERTY_SANITIZE=address+undefined >/dev/null
+cmake --build build-asan -j "$jobs"
+echo "=== asan+ubsan tests ==="
+ctest --test-dir build-asan --output-on-failure -j "$jobs" -LE fuzz
+
+if [ "$run_tsan" -eq 1 ]; then
+  echo "=== tsan build ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLIBERTY_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  echo "=== tsan tests (label: tsan) ==="
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L tsan
+fi
+
+echo "all checks passed"

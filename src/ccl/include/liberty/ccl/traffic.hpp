@@ -41,6 +41,8 @@ class TrafficGen : public liberty::core::Module {
   void cycle_start(liberty::core::Cycle c) override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
 
@@ -74,6 +76,8 @@ class TrafficSink : public liberty::core::Module {
   TrafficSink(const std::string& name, const liberty::core::Params& params);
 
   void end_of_cycle() override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
   [[nodiscard]] double mean_latency() const;

@@ -94,6 +94,23 @@ void TrafficGen::end_of_cycle() {
 
 void TrafficGen::declare_deps(Deps& deps) const { deps.state_only(out_); }
 
+void TrafficGen::save_state(liberty::core::StateWriter& w) const {
+  liberty::core::save_rng(w, rng_);
+  w.put_u64(generated_);
+  w.put_u64(injected_);
+  w.put_size(backlog_.size());
+  for (const auto& v : backlog_) w.put(v);
+}
+
+void TrafficGen::load_state(liberty::core::StateReader& r) {
+  liberty::core::load_rng(r, rng_);
+  generated_ = r.get_u64();
+  injected_ = r.get_u64();
+  backlog_.clear();
+  const std::size_t n = r.get_size();
+  for (std::size_t i = 0; i < n; ++i) backlog_.push_back(r.get());
+}
+
 // ---------------------------------------------------------------------------
 // TrafficSink
 // ---------------------------------------------------------------------------
@@ -117,6 +134,14 @@ void TrafficSink::end_of_cycle() {
     stats().histogram("hops", 32, 1.0).add(static_cast<double>(flit->hops));
   }
   if (stop_after_ != 0 && received_ >= stop_after_) request_stop();
+}
+
+void TrafficSink::save_state(liberty::core::StateWriter& w) const {
+  w.put_u64(received_);
+}
+
+void TrafficSink::load_state(liberty::core::StateReader& r) {
+  received_ = r.get_u64();
 }
 
 double TrafficSink::mean_latency() const {

@@ -107,6 +107,30 @@ void WirelessChannel::end_of_cycle() {
   tx_dst_ = flit->dst % out_.width();
 }
 
+void WirelessChannel::save_state(liberty::core::StateWriter& w) const {
+  liberty::core::save_rng(w, rng_);
+  w.put_bool(busy_);
+  w.put_u64(free_at_);
+  w.put_bool(has_payload_);
+  w.put(tx_value_);
+  w.put_size(tx_dst_);
+  w.put(on_air_);
+  w.put_size(dst_);
+  w.put_bool(delivered_pending_);
+}
+
+void WirelessChannel::load_state(liberty::core::StateReader& r) {
+  liberty::core::load_rng(r, rng_);
+  busy_ = r.get_bool();
+  free_at_ = r.get_u64();
+  has_payload_ = r.get_bool();
+  tx_value_ = r.get();
+  tx_dst_ = r.get_size();
+  on_air_ = r.get();
+  dst_ = r.get_size();
+  delivered_pending_ = r.get_bool();
+}
+
 void WirelessChannel::declare_deps(Deps& deps) const {
   deps.state_only(out_);
   deps.depends(in_, {liberty::core::fwd(in_)});

@@ -20,6 +20,12 @@
 //   end_of_cycle() after all signals resolved; commit sequential state by
 //                  inspecting transferred() on endpoints.
 //
+// Modules additionally participate in kernel snapshot/restore through the
+// save_state/load_state pair (see state.hpp): between cycles, save_state
+// serializes everything the module needs to resume deterministically and
+// load_state reads it back in the same order.  A module whose behaviour is
+// a pure function of its ports needs neither override.
+//
 // Causality rule (documented contract, checked dynamically by the kernel's
 // monotonicity errors): a module's *forward* drives may depend only on its
 // input forward signals; *backward* drives may depend on anything.  This is
@@ -36,6 +42,7 @@
 #include <vector>
 
 #include "liberty/core/port.hpp"
+#include "liberty/core/state.hpp"
 #include "liberty/core/types.hpp"
 #include "liberty/support/stats.hpp"
 
@@ -118,6 +125,24 @@ class Module {
   /// Declare combinational dependencies for the static scheduler.  The
   /// default declares nothing, which the scheduler treats conservatively.
   virtual void declare_deps(Deps&) const {}
+
+  /// Serialize all sequential state needed to resume deterministically
+  /// (called between cycles by Simulator::snapshot).  Statistics are NOT
+  /// part of the contract: a restored run replays behaviour, it does not
+  /// rewind counters.
+  virtual void save_state(StateWriter&) const {}
+  /// Restore state saved by save_state, reading slots in the same order.
+  virtual void load_state(StateReader&) {}
+
+  /// Content digest of this module's saved state (FNV-1a over the
+  /// save_state slot sequence).  Two independently constructed simulators
+  /// in identical states produce identical digests — the comparison point
+  /// of the differential oracle in liberty_testing.
+  [[nodiscard]] std::uint64_t state_digest() const {
+    StateWriter w;
+    save_state(w);
+    return digest_slots(w.slots());
+  }
 
   [[nodiscard]] liberty::StatSet& stats() noexcept { return stats_; }
   [[nodiscard]] const liberty::StatSet& stats() const noexcept {

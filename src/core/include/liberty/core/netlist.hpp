@@ -80,6 +80,10 @@ class Netlist {
   void clear_stop() noexcept {
     stop_flag_.store(false, std::memory_order_relaxed);
   }
+  /// Force the stop flag (Simulator::restore re-arms it from a snapshot).
+  void set_stop(bool v) noexcept {
+    stop_flag_.store(v, std::memory_order_relaxed);
+  }
 
   /// Dump all module statistics, one line per stat, prefixed by instance
   /// name.

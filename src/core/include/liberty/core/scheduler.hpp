@@ -127,6 +127,26 @@ class ScheduleGraph {
   std::vector<char> self_loop_;                // per SCC index
 };
 
+// ---- Test-only scheduler fault injection ----------------------------------
+//
+// The differential oracle in liberty_testing proves the three schedulers
+// bit-identical; this hook exists so tests can prove the oracle itself
+// works.  While installed, the named scheduler kind mis-drives the kernel's
+// default-control ack on one connection — from `from_cycle` on, the
+// AutoAccept drive on connection `connection` refuses instead of accepting,
+// a deterministic semantic bug invisible to the kernel's own audits.
+// Production code must never call these; they are not thread-safe against
+// concurrently *constructed* schedulers (install before running, clear
+// after).
+struct SchedulerFault {
+  std::string scheduler_kind;  // kind_name() of the afflicted scheduler
+  Cycle from_cycle = 0;        // first afflicted cycle
+  ConnId connection = 0;       // afflicted connection id
+};
+
+void install_scheduler_fault_for_testing(SchedulerFault fault);
+void clear_scheduler_fault_for_testing();
+
 class SchedulerBase : public ResolveHooks {
  public:
   using TransferObserver = std::function<void(const Connection&, Cycle)>;
@@ -181,32 +201,14 @@ class SchedulerBase : public ResolveHooks {
     m.react();
   }
   /// Resolve an undriven forward channel to "offers nothing".
-  static void default_forward(Connection& c) {
-    if (c.forward_known()) return;
-    c.idle();
-    c.note_defaulted();
-    ++detail::t_resolve_ctx.defaults;
-  }
+  static void default_forward(Connection& c);
   /// Resolve an undriven managed backward channel to "refuses".  Skipped
   /// when a gated intent is still pending (it resolves with its forward).
-  static void default_backward(Connection& c) {
-    if (c.ack_known()) return;
-    if (known(c.intent_.load(std::memory_order_relaxed))) return;
-    c.nack();
-    c.note_defaulted();
-    ++detail::t_resolve_ctx.defaults;
-  }
-  /// Kernel drive for an AutoAccept backward channel whose forward is known.
-  static void apply_auto_accept(Connection& c) {
-    if (c.ack_known() || known(c.intent_.load(std::memory_order_relaxed))) {
-      return;
-    }
-    if (c.enabled()) {
-      c.ack();
-    } else {
-      c.nack();
-    }
-  }
+  static void default_backward(Connection& c);
+  /// Kernel drive for an AutoAccept backward channel whose forward is
+  /// known.  This is the site the test-only scheduler fault (see
+  /// install_scheduler_fault_for_testing) corrupts.
+  static void apply_auto_accept(Connection& c);
 
   void install_hooks(ResolveHooks* h);
 

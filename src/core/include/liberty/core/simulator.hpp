@@ -9,14 +9,35 @@
 #include <memory>
 #include <ostream>
 #include <string_view>
+#include <vector>
 
 #include "liberty/core/netlist.hpp"
 #include "liberty/core/scheduler.hpp"
+#include "liberty/core/state.hpp"
 #include "liberty/core/types.hpp"
 
 namespace liberty::core {
 
 enum class SchedulerKind { Dynamic, Static, Parallel };
+
+/// A between-cycles image of one simulator: the cycle counter, the stop
+/// flag, and every module's save_state slots.  Snapshots are cheap (values
+/// share immutable payloads by pointer) and belong to the netlist shape
+/// they were taken from — restoring into a different netlist is an error.
+struct KernelSnapshot {
+  Cycle cycle = 0;
+  bool stop_requested = false;
+  std::vector<std::vector<Value>> module_state;  // indexed by ModuleId
+
+  /// Combined content digest of all module states (oracle comparisons).
+  [[nodiscard]] std::uint64_t digest() const {
+    std::uint64_t h = kFnv1aInit;
+    for (const auto& slots : module_state) {
+      h = fnv1a_mix(h, digest_slots(slots));
+    }
+    return h;
+  }
+};
 
 /// Parse a scheduler name ("dyn"/"dynamic", "static", "par"/"parallel");
 /// throws ElaborationError on anything else.  Shared by lss_run, bench_util
@@ -55,8 +76,12 @@ class Simulator {
   void step() { sched_->run_cycle(now_++); }
 
   /// Run up to `max_cycles` cycles, stopping early when a module calls
-  /// request_stop().  Returns the number of cycles executed.
+  /// request_stop().  Returns the number of cycles executed.  A pending
+  /// stop request is cleared on entry, so run() is re-entrant: calling it
+  /// again after an early stop resumes the simulation (a module whose stop
+  /// condition still holds will simply stop it again after one cycle).
   Cycle run(Cycle max_cycles) {
+    netlist_.clear_stop();
     Cycle executed = 0;
     while (executed < max_cycles && !netlist_.stop_requested()) {
       step();
@@ -64,6 +89,18 @@ class Simulator {
     }
     return executed;
   }
+
+  /// Capture a between-cycles snapshot of the kernel: cycle counter, stop
+  /// flag, and every module's serialized state.  Must not be called from
+  /// inside a simulation hook.
+  [[nodiscard]] KernelSnapshot snapshot() const;
+
+  /// Rewind the simulator to `snap`.  Every module's load_state must
+  /// consume exactly the slots its save_state produced; statistics and
+  /// cumulative transfer counts are NOT rewound (replay reproduces
+  /// behaviour, not counters).  Throws SimulationError on a module-count
+  /// mismatch or a save/load protocol violation.
+  void restore(const KernelSnapshot& snap);
 
   /// Attach an observer called for every completed transfer.
   void observe_transfers(SchedulerBase::TransferObserver obs) {

@@ -1,6 +1,7 @@
 #include "liberty/core/scheduler.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "liberty/support/error.hpp"
 
@@ -9,6 +10,30 @@ namespace liberty::core {
 namespace detail {
 thread_local ResolveCtx t_resolve_ctx;
 }  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Test-only fault injection
+// ---------------------------------------------------------------------------
+//
+// The spec is written only while no scheduler is running; the live flag is
+// atomic because apply_auto_accept runs on parallel worker threads.
+
+namespace {
+SchedulerFault g_fault;
+bool g_fault_installed = false;
+std::atomic<bool> g_fault_live{false};
+}  // namespace
+
+void install_scheduler_fault_for_testing(SchedulerFault fault) {
+  g_fault = std::move(fault);
+  g_fault_installed = true;
+  g_fault_live.store(false, std::memory_order_relaxed);
+}
+
+void clear_scheduler_fault_for_testing() {
+  g_fault_installed = false;
+  g_fault_live.store(false, std::memory_order_relaxed);
+}
 
 // ---------------------------------------------------------------------------
 // ScheduleGraph
@@ -233,6 +258,38 @@ std::uint64_t SchedulerBase::total_generation() const noexcept {
   return sum;
 }
 
+void SchedulerBase::default_forward(Connection& c) {
+  if (c.forward_known()) return;
+  c.idle();
+  c.note_defaulted();
+  ++detail::t_resolve_ctx.defaults;
+}
+
+void SchedulerBase::default_backward(Connection& c) {
+  if (c.ack_known()) return;
+  if (known(c.intent_.load(std::memory_order_relaxed))) return;
+  c.nack();
+  c.note_defaulted();
+  ++detail::t_resolve_ctx.defaults;
+}
+
+void SchedulerBase::apply_auto_accept(Connection& c) {
+  if (c.ack_known() || known(c.intent_.load(std::memory_order_relaxed))) {
+    return;
+  }
+  if (g_fault_live.load(std::memory_order_relaxed) &&
+      c.id() == g_fault.connection) {
+    // Injected bug: the default-control drive refuses what it should accept.
+    c.nack();
+    return;
+  }
+  if (c.enabled()) {
+    c.ack();
+  } else {
+    c.nack();
+  }
+}
+
 void SchedulerBase::absorb(const detail::ResolveCtx& delta) {
   cycle_resolutions_ += delta.resolutions;
   react_calls_ += delta.reacts;
@@ -265,6 +322,11 @@ void SchedulerBase::verify_resolved(Cycle cycle) const {
 }
 
 void SchedulerBase::run_cycle(Cycle cycle) {
+  if (g_fault_installed) {
+    g_fault_live.store(kind_name() == g_fault.scheduler_kind &&
+                           cycle >= g_fault.from_cycle,
+                       std::memory_order_relaxed);
+  }
   detail::ResolveCtx& ctx = detail::t_resolve_ctx;
   const std::uint64_t r0 = ctx.resolutions;
   const std::uint64_t k0 = ctx.reacts;

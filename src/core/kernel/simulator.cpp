@@ -15,6 +15,40 @@ SchedulerKind scheduler_kind_from_name(std::string_view name) {
                                   "' (expected dyn|static|parallel)");
 }
 
+KernelSnapshot Simulator::snapshot() const {
+  KernelSnapshot snap;
+  snap.cycle = now_;
+  snap.stop_requested = netlist_.stop_requested();
+  snap.module_state.reserve(netlist_.module_count());
+  for (const auto& m : netlist_.modules()) {
+    StateWriter w;
+    m->save_state(w);
+    snap.module_state.push_back(std::move(w).take());
+  }
+  return snap;
+}
+
+void Simulator::restore(const KernelSnapshot& snap) {
+  const auto& modules = netlist_.modules();
+  if (snap.module_state.size() != modules.size()) {
+    throw liberty::SimulationError(
+        "snapshot restore: netlist has " + std::to_string(modules.size()) +
+        " modules, snapshot has " + std::to_string(snap.module_state.size()));
+  }
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    StateReader r(snap.module_state[i], modules[i]->name());
+    modules[i]->load_state(r);
+    if (!r.exhausted()) {
+      throw liberty::SimulationError(
+          "snapshot restore: module '" + modules[i]->name() + "' left " +
+          std::to_string(r.remaining()) +
+          " state slot(s) unconsumed (save_state/load_state mismatch)");
+    }
+  }
+  now_ = snap.cycle;
+  netlist_.set_stop(snap.stop_requested);
+}
+
 void Simulator::trace_transfers(std::ostream& os) {
   observe_transfers([&os](const Connection& c, Cycle cycle) {
     os << "@" << cycle << "  " << c.describe() << "  " << c.data().to_string()

@@ -85,6 +85,18 @@ void Arbiter::end_of_cycle() {
   }
 }
 
+void Arbiter::save_state(liberty::core::StateWriter& w) const {
+  w.put_size(rr_next_);
+  w.put_size(last_grant_.size());
+  for (const std::uint64_t g : last_grant_) w.put_u64(g);
+}
+
+void Arbiter::load_state(liberty::core::StateReader& r) {
+  rr_next_ = r.get_size();
+  last_grant_.assign(r.get_size(), 0);
+  for (auto& g : last_grant_) g = r.get_u64();
+}
+
 void Arbiter::declare_deps(Deps& deps) const {
   deps.depends(out_, {liberty::core::fwd(in_)});
   deps.depends(in_, {liberty::core::fwd(in_), liberty::core::bwd(out_)});

@@ -80,6 +80,17 @@ void Buffer::end_of_cycle() {
   }
 }
 
+void Buffer::save_state(liberty::core::StateWriter& w) const {
+  w.put_size(entries_.size());
+  for (const auto& v : entries_) w.put(v);
+}
+
+void Buffer::load_state(liberty::core::StateReader& r) {
+  entries_.clear();
+  const std::size_t n = r.get_size();
+  for (std::size_t i = 0; i < n; ++i) entries_.push_back(r.get());
+}
+
 void Buffer::declare_deps(Deps& deps) const {
   deps.state_only(out_);
   deps.state_only(in_);

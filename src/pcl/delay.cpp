@@ -42,6 +42,24 @@ void Delay::end_of_cycle() {
   }
 }
 
+void Delay::save_state(liberty::core::StateWriter& w) const {
+  w.put_size(items_.size());
+  for (const auto& e : items_) {
+    w.put(e.value);
+    w.put_u64(e.ready);
+  }
+}
+
+void Delay::load_state(liberty::core::StateReader& r) {
+  items_.clear();
+  const std::size_t n = r.get_size();
+  for (std::size_t i = 0; i < n; ++i) {
+    liberty::Value v = r.get();
+    const Cycle ready = r.get_u64();
+    items_.push_back(Entry{std::move(v), ready});
+  }
+}
+
 void Delay::declare_deps(Deps& deps) const {
   deps.state_only(out_);
   deps.state_only(in_);

@@ -31,6 +31,8 @@ class Arbiter : public liberty::core::Module {
   void end_of_cycle() override;
   void init() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
  private:
   [[nodiscard]] int select(const std::vector<std::size_t>& requesters) const;

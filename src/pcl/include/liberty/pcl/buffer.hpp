@@ -44,6 +44,8 @@ class Buffer : public liberty::core::Module {
   void cycle_start(liberty::core::Cycle c) override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   void set_ready_fn(ReadyFn fn) { ready_ = std::move(fn); }
 

@@ -25,6 +25,8 @@ class Delay : public liberty::core::Module {
   void cycle_start(liberty::core::Cycle c) override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   [[nodiscard]] std::size_t in_flight() const noexcept {
     return items_.size();

@@ -35,6 +35,8 @@ class MemoryArray : public liberty::core::Module {
   void cycle_start(liberty::core::Cycle c) override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   /// Backdoor access (program loading, checking final state in tests).
   void poke(std::uint64_t addr, std::int64_t data) { store_[addr] = data; }

@@ -24,6 +24,8 @@ class Probe : public liberty::core::Module {
   void react() override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   void set_observer(Observer obs) { obs_ = std::move(obs); }
 

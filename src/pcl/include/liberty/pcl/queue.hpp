@@ -30,6 +30,8 @@ class Queue : public liberty::core::Module {
   void react() override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
   [[nodiscard]] std::size_t depth() const noexcept { return depth_; }

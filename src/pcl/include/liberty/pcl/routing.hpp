@@ -24,6 +24,8 @@ class Tee : public liberty::core::Module {
   void react() override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
  private:
   liberty::core::Port& in_;
@@ -85,6 +87,8 @@ class Crossbar : public liberty::core::Module {
   void end_of_cycle() override;
   void init() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   void set_selector(Selector s) { selector_ = std::move(s); }
 

@@ -27,6 +27,8 @@ class Sink : public liberty::core::Module {
   Sink(const std::string& name, const liberty::core::Params& params);
 
   void end_of_cycle() override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   /// Algorithmic parameter: called for every consumed value.
   void set_consume_hook(ConsumeHook hook) { hook_ = std::move(hook); }

@@ -1,5 +1,9 @@
 #include "liberty/pcl/memory_array.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "liberty/pcl/payloads.hpp"
 #include "liberty/support/error.hpp"
 
@@ -67,6 +71,42 @@ void MemoryArray::end_of_cycle() {
         liberty::Value::make<MemResp>(r->tag, out_data,
                                       r->op == MemReq::Op::Write),
         now() + latency_, i});
+  }
+}
+
+void MemoryArray::save_state(liberty::core::StateWriter& w) const {
+  // The backing store is an unordered_map; serialize sorted by address so
+  // equal stores digest identically regardless of insertion history.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> cells(store_.begin(),
+                                                            store_.end());
+  std::sort(cells.begin(), cells.end());
+  w.put_size(cells.size());
+  for (const auto& [addr, data] : cells) {
+    w.put_u64(addr);
+    w.put_i64(data);
+  }
+  w.put_size(pending_.size());
+  for (const auto& p : pending_) {
+    w.put(p.resp);
+    w.put_u64(p.ready);
+    w.put_size(p.src_ep);
+  }
+}
+
+void MemoryArray::load_state(liberty::core::StateReader& r) {
+  store_.clear();
+  const std::size_t cells = r.get_size();
+  for (std::size_t i = 0; i < cells; ++i) {
+    const std::uint64_t addr = r.get_u64();
+    store_[addr] = r.get_i64();
+  }
+  pending_.clear();
+  const std::size_t n = r.get_size();
+  for (std::size_t i = 0; i < n; ++i) {
+    liberty::Value resp = r.get();
+    const Cycle ready = r.get_u64();
+    const std::size_t src_ep = r.get_size();
+    pending_.push_back(Pending{std::move(resp), ready, src_ep});
   }
 }
 

@@ -44,6 +44,14 @@ void Probe::end_of_cycle() {
   }
 }
 
+void Probe::save_state(liberty::core::StateWriter& w) const {
+  w.put_u64(count_);
+}
+
+void Probe::load_state(liberty::core::StateReader& r) {
+  count_ = r.get_u64();
+}
+
 void Probe::declare_deps(Deps& deps) const {
   deps.depends(out_, {fwd(in_)});
   deps.depends(in_, {bwd(out_)});

@@ -60,6 +60,17 @@ void Queue::end_of_cycle() {
   }
 }
 
+void Queue::save_state(liberty::core::StateWriter& w) const {
+  w.put_size(items_.size());
+  for (const auto& v : items_) w.put(v);
+}
+
+void Queue::load_state(liberty::core::StateReader& r) {
+  items_.clear();
+  const std::size_t n = r.get_size();
+  for (std::size_t i = 0; i < n; ++i) items_.push_back(r.get());
+}
+
 void Queue::declare_deps(Deps& deps) const {
   deps.state_only(out_);
   if (bypass_ack_) {

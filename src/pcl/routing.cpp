@@ -72,6 +72,18 @@ void Tee::end_of_cycle() {
   }
 }
 
+void Tee::save_state(liberty::core::StateWriter& w) const {
+  w.put_size(delivered_.size());
+  for (const bool d : delivered_) w.put_bool(d);
+}
+
+void Tee::load_state(liberty::core::StateReader& r) {
+  delivered_.assign(r.get_size(), false);
+  for (std::size_t i = 0; i < delivered_.size(); ++i) {
+    delivered_[i] = r.get_bool();
+  }
+}
+
 void Tee::declare_deps(Deps& deps) const {
   deps.depends(out_, {fwd(in_)});
   deps.depends(in_, {bwd(out_)});
@@ -294,6 +306,16 @@ void Crossbar::end_of_cycle() {
       rr_[o] = (static_cast<std::size_t>(grant_[o]) + 1) % in_.width();
     }
   }
+}
+
+void Crossbar::save_state(liberty::core::StateWriter& w) const {
+  w.put_size(rr_.size());
+  for (const std::size_t p : rr_) w.put_size(p);
+}
+
+void Crossbar::load_state(liberty::core::StateReader& r) {
+  rr_.assign(r.get_size(), 0);
+  for (auto& p : rr_) p = r.get_size();
 }
 
 void Crossbar::declare_deps(Deps& deps) const {

@@ -29,4 +29,12 @@ void Sink::end_of_cycle() {
   if (stop_after_ != 0 && consumed_ >= stop_after_) request_stop();
 }
 
+void Sink::save_state(liberty::core::StateWriter& w) const {
+  w.put_u64(consumed_);
+}
+
+void Sink::load_state(liberty::core::StateReader& r) {
+  consumed_ = r.get_u64();
+}
+
 }  // namespace liberty::pcl

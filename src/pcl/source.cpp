@@ -75,4 +75,21 @@ void Source::declare_deps(Deps& deps) const {
   deps.state_only(out_);
 }
 
+void Source::save_state(liberty::core::StateWriter& w) const {
+  liberty::core::save_rng(w, rng_);
+  w.put_u64(generated_);
+  w.put_u64(emitted_);
+  w.put_size(backlog_.size());
+  for (const auto& v : backlog_) w.put(v);
+}
+
+void Source::load_state(liberty::core::StateReader& r) {
+  liberty::core::load_rng(r, rng_);
+  generated_ = r.get_u64();
+  emitted_ = r.get_u64();
+  backlog_.clear();
+  const std::size_t n = r.get_size();
+  for (std::size_t i = 0; i < n; ++i) backlog_.push_back(r.get());
+}
+
 }  // namespace liberty::pcl

@@ -73,6 +73,15 @@ class Rng {
     return n;
   }
 
+  /// Raw generator state, for kernel snapshot/restore: a restored module
+  /// must draw the same stream it would have drawn uninterrupted.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

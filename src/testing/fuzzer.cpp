@@ -1,0 +1,269 @@
+#include "liberty/testing/fuzzer.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "liberty/support/rng.hpp"
+
+namespace liberty::testing {
+
+namespace {
+
+using liberty::Rng;
+using liberty::Value;
+
+/// An open output endpoint awaiting a consumer.
+struct Open {
+  std::size_t module;
+  std::string port;
+};
+
+struct Builder {
+  NetSpec spec;
+  Rng rng;
+  std::uint64_t seed;
+
+  explicit Builder(std::uint64_t s) : rng(s), seed(s) {}
+
+  std::size_t add(std::string type, std::string name,
+                  liberty::core::Params params) {
+    spec.modules.push_back(
+        ModuleDecl{std::move(type), std::move(name), std::move(params)});
+    return spec.modules.size() - 1;
+  }
+
+  void connect(const Open& from, std::size_t to, const std::string& to_port) {
+    spec.edges.push_back(EdgeDecl{from.module, from.port, to, to_port});
+  }
+
+  liberty::core::Params source_params(std::size_t i) {
+    liberty::core::Params p;
+    // Mostly counters (value identity checks ordering end to end); some
+    // random sources so the Rng stream is part of the replayed state.
+    p.set("kind", Value(rng.chance(0.6) ? std::string("counter")
+                                        : std::string("random")));
+    p.set("period", Value(static_cast<std::int64_t>(1 + rng.below(3))));
+    if (rng.chance(0.3)) {
+      p.set("count", Value(static_cast<std::int64_t>(20 + rng.below(100))));
+    }
+    p.set("seed", Value(static_cast<std::int64_t>((seed ^ (i * 0x9e37)) |
+                                                  1)));
+    return p;
+  }
+};
+
+}  // namespace
+
+NetSpec generate_netlist(std::uint64_t seed, const FuzzConfig& cfg) {
+  Builder b(seed);
+  b.spec.cycles = cfg.cycles;
+  Rng& rng = b.rng;
+
+  const auto span = [&rng](std::size_t lo, std::size_t hi) {
+    return lo + rng.below(hi - lo + 1);
+  };
+
+  // Layer 0: sources.
+  std::vector<Open> frontier;
+  const std::size_t width = span(cfg.min_width, cfg.max_width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t m =
+        b.add("pcl.source", "src" + std::to_string(i), b.source_params(i));
+    frontier.push_back(Open{m, "out"});
+  }
+
+  // CCL flit traffic.  A statistical generator may join the shared layered
+  // mix — flits are Routable, so queues, arbiters, crossbars and muxes
+  // carry them unmodified, and pcl.sink absorbs any payload.  A second,
+  // segregated gen -> delay -> traffic_sink lane keeps one pure flit
+  // stream so the latency-accounting sink (which requires flits) is also
+  // exercised.
+  if (cfg.use_ccl_traffic) {
+    const auto gen_params = [&](std::size_t id) {
+      liberty::core::Params p;
+      p.set("id", Value(static_cast<std::int64_t>(id)));
+      p.set("nodes", Value(std::int64_t{4}));
+      p.set("rate", Value(0.1 + 0.4 * rng.uniform()));
+      p.set("seed", Value(static_cast<std::int64_t>(
+                        (seed ^ (0xccf1 + id * 0x7f)) | 1)));
+      return p;
+    };
+    if (rng.chance(0.5)) {
+      const std::size_t g = b.add("ccl.traffic_gen", "flits", gen_params(1));
+      frontier.push_back(Open{g, "out"});
+    }
+    if (rng.chance(0.4)) {
+      liberty::core::Params dp;
+      dp.set("latency", Value(static_cast<std::int64_t>(1 + rng.below(3))));
+      const std::size_t g =
+          b.add("ccl.traffic_gen", "ccl_gen", gen_params(2));
+      const std::size_t d = b.add("pcl.delay", "ccl_delay", std::move(dp));
+      const std::size_t s = b.add("ccl.traffic_sink", "ccl_sink", {});
+      b.connect(Open{g, "out"}, d, "in");
+      b.connect(Open{d, "out"}, s, "in");
+    }
+  }
+
+  // Middle layers: each consumes the frontier and produces the next one.
+  // Choices draw from the enabled module mix; 1-in/1-out elements are
+  // always available so the frontier can never strand.
+  const std::size_t layers = span(cfg.min_layers, cfg.max_layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    std::vector<Open> next;
+    std::size_t n = 0;
+    while (!frontier.empty()) {
+      const std::string nm =
+          "m" + std::to_string(l) + "_" + std::to_string(n++);
+      enum Kind { kQueue, kDelay, kProbe, kFuncMap, kBuffer, kArbiter,
+                  kTee, kCrossbar, kMux };
+      std::vector<Kind> menu{kQueue, kDelay, kProbe, kFuncMap};
+      if (cfg.use_buffer) menu.push_back(kBuffer);
+      if (cfg.use_tee) menu.push_back(kTee);
+      if (frontier.size() >= 2) {
+        if (cfg.use_arbiter) menu.push_back(kArbiter);
+        if (cfg.use_crossbar) menu.push_back(kCrossbar);
+        if (cfg.use_mux) menu.push_back(kMux);
+      }
+      const Kind kind = menu[rng.below(menu.size())];
+
+      const auto take = [&frontier](std::size_t k) {
+        std::vector<Open> in(frontier.begin(),
+                             frontier.begin() + static_cast<long>(k));
+        frontier.erase(frontier.begin(), frontier.begin() + static_cast<long>(k));
+        return in;
+      };
+
+      switch (kind) {
+        case kQueue: {
+          liberty::core::Params p;
+          p.set("depth", Value(static_cast<std::int64_t>(1 + rng.below(4))));
+          if (rng.chance(0.3)) p.set("bypass_ack", Value(true));
+          const std::size_t m = b.add("pcl.queue", nm, std::move(p));
+          b.connect(take(1)[0], m, "in");
+          next.push_back(Open{m, "out"});
+          break;
+        }
+        case kDelay: {
+          liberty::core::Params p;
+          p.set("latency", Value(static_cast<std::int64_t>(1 + rng.below(3))));
+          const std::size_t m = b.add("pcl.delay", nm, std::move(p));
+          b.connect(take(1)[0], m, "in");
+          next.push_back(Open{m, "out"});
+          break;
+        }
+        case kProbe: {
+          const std::size_t m = b.add("pcl.probe", nm, {});
+          b.connect(take(1)[0], m, "in");
+          next.push_back(Open{m, "out"});
+          break;
+        }
+        case kFuncMap: {
+          const std::size_t m = b.add("pcl.funcmap", nm, {});
+          b.connect(take(1)[0], m, "in");
+          next.push_back(Open{m, "out"});
+          break;
+        }
+        case kBuffer: {
+          liberty::core::Params p;
+          p.set("capacity", Value(static_cast<std::int64_t>(2 + rng.below(6))));
+          p.set("issue", Value(rng.chance(0.5) ? std::string("fifo")
+                                               : std::string("any")));
+          const std::size_t m = b.add("pcl.buffer", nm, std::move(p));
+          for (Open& o : take(span(1, std::min<std::size_t>(
+                                          2, frontier.size())))) {
+            b.connect(o, m, "in");
+          }
+          const std::size_t outs = span(1, 2);
+          for (std::size_t o = 0; o < outs; ++o) next.push_back(Open{m, "out"});
+          break;
+        }
+        case kArbiter: {
+          static const char* kPolicies[] = {"round_robin", "priority", "lru"};
+          liberty::core::Params p;
+          p.set("policy", Value(std::string(kPolicies[rng.below(3)])));
+          const std::size_t m = b.add("pcl.arbiter", nm, std::move(p));
+          for (Open& o : take(span(2, std::min<std::size_t>(
+                                          3, frontier.size())))) {
+            b.connect(o, m, "in");
+          }
+          next.push_back(Open{m, "out"});
+          break;
+        }
+        case kTee: {
+          const std::size_t m = b.add("pcl.tee", nm, {});
+          b.connect(take(1)[0], m, "in");
+          const std::size_t outs = span(2, 3);
+          for (std::size_t o = 0; o < outs; ++o) next.push_back(Open{m, "out"});
+          break;
+        }
+        case kCrossbar: {
+          const std::size_t m = b.add("pcl.crossbar", nm, {});
+          for (Open& o : take(span(2, std::min<std::size_t>(
+                                          3, frontier.size())))) {
+            b.connect(o, m, "in");
+          }
+          const std::size_t outs = span(1, 3);
+          for (std::size_t o = 0; o < outs; ++o) next.push_back(Open{m, "out"});
+          break;
+        }
+        case kMux: {
+          const std::size_t m = b.add("pcl.mux", nm, {});
+          const std::vector<Open> in = take(span(2, std::min<std::size_t>(
+                                                       3, frontier.size())));
+          for (const Open& o : in) b.connect(o, m, "in");
+          // Dedicated selection stream, bounded to the data width so the
+          // selection is always in range.
+          liberty::core::Params sp;
+          sp.set("kind", Value(std::string("random")));
+          sp.set("range", Value(static_cast<std::int64_t>(in.size())));
+          sp.set("seed", Value(static_cast<std::int64_t>((seed ^ (n * 0x51))
+                                                         | 1)));
+          const std::size_t s = b.add("pcl.source", nm + "_sel", std::move(sp));
+          b.connect(Open{s, "out"}, m, "sel");
+          next.push_back(Open{m, "out"});
+          break;
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Feedback ring: arbiter -> delay -> tee -> {onward, queue -> arbiter}.
+  // The ring contains a genuine cycle; queue and delay break it with
+  // state-only ports, so it resolves like real looped hardware.
+  if (cfg.use_arbiter && cfg.use_tee && rng.chance(cfg.feedback_prob)) {
+    const std::size_t f = rng.below(frontier.size());
+    liberty::core::Params qp;
+    qp.set("depth", Value(static_cast<std::int64_t>(1 + rng.below(3))));
+    const std::size_t arb = b.add("pcl.arbiter", "fb_arb", {});
+    const std::size_t dly = b.add("pcl.delay", "fb_delay", {});
+    const std::size_t tee = b.add("pcl.tee", "fb_tee", {});
+    const std::size_t que = b.add("pcl.queue", "fb_queue", std::move(qp));
+    b.connect(frontier[f], arb, "in");
+    b.connect(Open{arb, "out"}, dly, "in");
+    b.connect(Open{dly, "out"}, tee, "in");
+    b.connect(Open{que, "out"}, arb, "in");  // closes the loop
+    b.connect(Open{tee, "out"}, que, "in");
+    frontier[f] = Open{tee, "out"};
+  }
+
+  // Final layer: sinks.  Every remaining open output lands on one.
+  const std::size_t n_sinks =
+      span(1, std::min(frontier.size(), cfg.max_width));
+  std::vector<std::size_t> sinks;
+  for (std::size_t i = 0; i < n_sinks; ++i) {
+    sinks.push_back(b.add("pcl.sink", "sink" + std::to_string(i), {}));
+  }
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    // First pass round-robins so no sink is left unconnected.
+    const std::size_t s =
+        i < n_sinks ? i : rng.below(n_sinks);
+    b.connect(frontier[i], sinks[s], "in");
+  }
+
+  return std::move(b.spec);
+}
+
+}  // namespace liberty::testing

@@ -1,0 +1,42 @@
+// Netlist fuzzer: seeded random generation of structurally valid netlists.
+//
+// Generated systems are layered dataflow graphs — sources feeding a random
+// mix of PCL primitives feeding sinks — optionally threaded with a feedback
+// ring (arbiter -> delay -> tee -> queue -> back to the arbiter), which is
+// the topology class the paper's reactive MoC exists to make well-defined.
+// Every structural choice is drawn from one Rng seeded by `seed`, so a
+// failing seed reproduces its netlist exactly, on any machine.
+#pragma once
+
+#include <cstdint>
+
+#include "liberty/testing/netspec.hpp"
+
+namespace liberty::testing {
+
+struct FuzzConfig {
+  std::size_t min_width = 2;   // modules per layer
+  std::size_t max_width = 4;
+  std::size_t min_layers = 1;  // middle (non-source, non-sink) layers
+  std::size_t max_layers = 4;
+  double feedback_prob = 0.5;  // chance of adding the feedback ring
+
+  // Module-mix switches (CLI flags map straight onto these).
+  bool use_arbiter = true;
+  bool use_tee = true;
+  bool use_crossbar = true;
+  bool use_mux = true;
+  bool use_buffer = true;
+  // CCL flit traffic woven into the topology (requires a registry with
+  // register_ccl; flits are Routable, so PCL steering carries them).
+  bool use_ccl_traffic = true;
+
+  liberty::core::Cycle cycles = 200;
+};
+
+/// Generate the netlist for `seed`.  Deterministic: equal (seed, config)
+/// pairs yield equal specs.
+[[nodiscard]] NetSpec generate_netlist(std::uint64_t seed,
+                                       const FuzzConfig& config = {});
+
+}  // namespace liberty::testing

@@ -1,0 +1,53 @@
+// NetSpec: a rebuildable description of one netlist.
+//
+// The differential oracle needs to run the *same* system under several
+// schedulers, and snapshot bisection needs to construct fresh simulators at
+// will — but Netlist is neither copyable nor resettable.  NetSpec is the
+// answer: a plain-data recipe (module declarations + connection edges) that
+// elaborates a fresh, identical Netlist on demand through the shared
+// ModuleRegistry, exactly the way the LSS elaborator would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "liberty/core/netlist.hpp"
+#include "liberty/core/params.hpp"
+#include "liberty/core/registry.hpp"
+#include "liberty/core/types.hpp"
+
+namespace liberty::testing {
+
+struct ModuleDecl {
+  std::string type;  // registry key, e.g. "pcl.queue"
+  std::string name;  // instance name, unique within the spec
+  liberty::core::Params params;
+};
+
+/// One connection: output port `from_port` of module `from` to input port
+/// `to_port` of module `to`.  Endpoints are assigned in declaration order
+/// (Netlist::connect picks the next free endpoint), so edge order is part
+/// of the spec's identity.
+struct EdgeDecl {
+  std::size_t from = 0;
+  std::string from_port;
+  std::size_t to = 0;
+  std::string to_port;
+};
+
+struct NetSpec {
+  std::vector<ModuleDecl> modules;
+  std::vector<EdgeDecl> edges;
+  liberty::core::Cycle cycles = 200;  // suggested simulation length
+
+  /// Elaborate into `netlist` (instantiate every module, connect every
+  /// edge, finalize).  Throws ElaborationError on an invalid spec.
+  void build(liberty::core::Netlist& netlist,
+             const liberty::core::ModuleRegistry& registry) const;
+
+  /// Human-readable rendering (failure reports, --print-spec).
+  [[nodiscard]] std::string render() const;
+};
+
+}  // namespace liberty::testing

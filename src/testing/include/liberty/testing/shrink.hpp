@@ -1,0 +1,30 @@
+// Greedy netlist shrinker: reduce a failing spec to a minimal reproducer.
+//
+// Classic delta-debugging adapted to netlists: repeatedly try to delete a
+// module (splicing 1-in/1-out elements so the data path survives) or halve
+// the cycle budget, keeping any candidate that still elaborates AND still
+// fails the oracle.  Iterate to a fixed point.
+#pragma once
+
+#include <functional>
+
+#include "liberty/testing/netspec.hpp"
+#include "liberty/testing/oracle.hpp"
+
+namespace liberty::testing {
+
+struct ShrinkStats {
+  std::size_t attempts = 0;   // candidate specs tried
+  std::size_t accepted = 0;   // candidates that kept failing
+};
+
+/// Shrink `failing` (a spec for which run_oracle reports a divergence)
+/// while `still_fails` holds.  The default predicate re-runs the oracle
+/// with `config`.  Returns the reduced spec; `failing` is returned
+/// unchanged if nothing could be removed.
+[[nodiscard]] NetSpec shrink_netlist(
+    const NetSpec& failing, const liberty::core::ModuleRegistry& registry,
+    const OracleConfig& config = {}, ShrinkStats* stats = nullptr,
+    const std::function<bool(const NetSpec&)>& still_fails = {});
+
+}  // namespace liberty::testing

@@ -1,0 +1,44 @@
+#include "liberty/testing/netspec.hpp"
+
+#include <vector>
+
+#include "liberty/support/error.hpp"
+
+namespace liberty::testing {
+
+void NetSpec::build(liberty::core::Netlist& netlist,
+                    const liberty::core::ModuleRegistry& registry) const {
+  std::vector<liberty::core::Module*> instances;
+  instances.reserve(modules.size());
+  for (const ModuleDecl& decl : modules) {
+    instances.push_back(
+        &netlist.add(registry.instantiate(decl.type, decl.name, decl.params)));
+  }
+  for (const EdgeDecl& e : edges) {
+    if (e.from >= instances.size() || e.to >= instances.size()) {
+      throw liberty::ElaborationError(
+          "netspec edge references module index out of range");
+    }
+    netlist.connect(instances[e.from]->out(e.from_port),
+                    instances[e.to]->in(e.to_port));
+  }
+  netlist.finalize();
+}
+
+std::string NetSpec::render() const {
+  std::string out = "cycles " + std::to_string(cycles) + "\n";
+  for (const ModuleDecl& decl : modules) {
+    out += "module " + decl.type + " " + decl.name;
+    for (const auto& [k, v] : decl.params.values()) {
+      out += " " + k + "=" + v.to_string();
+    }
+    out += "\n";
+  }
+  for (const EdgeDecl& e : edges) {
+    out += "connect " + modules[e.from].name + "." + e.from_port + " -> " +
+           modules[e.to].name + "." + e.to_port + "\n";
+  }
+  return out;
+}
+
+}  // namespace liberty::testing

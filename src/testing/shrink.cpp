@@ -1,0 +1,116 @@
+#include "liberty/testing/shrink.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace liberty::testing {
+
+namespace {
+
+/// Candidate with module `victim` deleted.  A 1-in/1-out victim is spliced
+/// (its producer connects straight to its consumer); anything else is cut
+/// together with every edge touching it — arity violations are caught when
+/// the candidate fails to elaborate.
+NetSpec remove_module(const NetSpec& spec, std::size_t victim) {
+  std::vector<const EdgeDecl*> incoming;
+  std::vector<const EdgeDecl*> outgoing;
+  for (const EdgeDecl& e : spec.edges) {
+    if (e.to == victim) incoming.push_back(&e);
+    if (e.from == victim) outgoing.push_back(&e);
+  }
+  const bool splice = incoming.size() == 1 && outgoing.size() == 1 &&
+                      incoming.front()->from != victim;
+
+  NetSpec out;
+  out.cycles = spec.cycles;
+  std::vector<std::size_t> remap(spec.modules.size());
+  for (std::size_t i = 0; i < spec.modules.size(); ++i) {
+    if (i == victim) continue;
+    remap[i] = out.modules.size();
+    out.modules.push_back(spec.modules[i]);
+  }
+  for (const EdgeDecl& e : spec.edges) {
+    if (e.from == victim || e.to == victim) {
+      if (splice && &e == incoming.front()) {
+        out.edges.push_back(EdgeDecl{remap[e.from], e.from_port,
+                                     remap[outgoing.front()->to],
+                                     outgoing.front()->to_port});
+      }
+      continue;
+    }
+    out.edges.push_back(
+        EdgeDecl{remap[e.from], e.from_port, remap[e.to], e.to_port});
+  }
+  return out;
+}
+
+bool elaborates(const NetSpec& spec,
+                const liberty::core::ModuleRegistry& registry) {
+  try {
+    liberty::core::Netlist netlist;
+    spec.build(netlist, registry);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+NetSpec shrink_netlist(const NetSpec& failing,
+                       const liberty::core::ModuleRegistry& registry,
+                       const OracleConfig& config, ShrinkStats* stats,
+                       const std::function<bool(const NetSpec&)>& still_fails) {
+  // Re-running the full oracle per candidate is the cost driver; skip
+  // bisection while shrinking and only bisect the final reproducer.
+  OracleConfig coarse = config;
+  coarse.bisect = false;
+  const auto fails = still_fails
+                         ? still_fails
+                         : std::function<bool(const NetSpec&)>(
+                               [&](const NetSpec& s) {
+                                 return !run_oracle(s, registry, coarse).ok;
+                               });
+
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+
+  NetSpec current = failing;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    if (current.cycles > 8) {
+      NetSpec cand = current;
+      cand.cycles /= 2;
+      ++st.attempts;
+      try {
+        if (fails(cand)) {
+          current = std::move(cand);
+          ++st.accepted;
+          progress = true;
+        }
+      } catch (const std::exception&) {
+        // The shorter run hit a different error; keep the longer budget.
+      }
+    }
+
+    for (std::size_t m = 0; m < current.modules.size(); ++m) {
+      NetSpec cand = remove_module(current, m);
+      ++st.attempts;
+      if (!elaborates(cand, registry)) continue;
+      try {
+        if (!fails(cand)) continue;
+      } catch (const std::exception&) {
+        continue;  // removal changed the failure mode; not a reproducer
+      }
+      current = std::move(cand);
+      ++st.accepted;
+      progress = true;
+      break;  // module indices shifted; restart the scan
+    }
+  }
+  return current;
+}
+
+}  // namespace liberty::testing

@@ -1,5 +1,9 @@
 #include "liberty/upl/memctl.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "liberty/upl/mem_protocol.hpp"
 #include "liberty/support/error.hpp"
 
@@ -63,6 +67,38 @@ void MemoryCtl::end_of_cycle() {
       }
       break;
     }
+  }
+}
+
+void MemoryCtl::save_state(liberty::core::StateWriter& w) const {
+  std::vector<std::pair<std::uint64_t, std::int64_t>> cells(store_.begin(),
+                                                            store_.end());
+  std::sort(cells.begin(), cells.end());
+  w.put_size(cells.size());
+  for (const auto& [addr, data] : cells) {
+    w.put_u64(addr);
+    w.put_i64(data);
+  }
+  w.put_size(pending_.size());
+  for (const auto& p : pending_) {
+    w.put(p.resp);
+    w.put_u64(p.ready);
+  }
+}
+
+void MemoryCtl::load_state(liberty::core::StateReader& r) {
+  store_.clear();
+  const std::size_t cells = r.get_size();
+  for (std::size_t i = 0; i < cells; ++i) {
+    const std::uint64_t addr = r.get_u64();
+    store_[addr] = r.get_i64();
+  }
+  pending_.clear();
+  const std::size_t n = r.get_size();
+  for (std::size_t i = 0; i < n; ++i) {
+    liberty::Value resp = r.get();
+    const Cycle ready = r.get_u64();
+    pending_.push_back(Pending{std::move(resp), ready});
   }
 }
 

@@ -1,0 +1,30 @@
+// The long differential sweep: 500 fuzzed netlists, each run under the
+// dynamic reference plus static and parallel(1,2,8) candidates, requiring
+// bit-identical transfers, state digests, and statistics.  Carries the
+// `fuzz` CTest label so it can be targeted (or excluded) with `ctest -L
+// fuzz` / `ctest -LE fuzz`.
+#include <gtest/gtest.h>
+
+#include "liberty/ccl/ccl.hpp"
+#include "liberty/testing/fuzzer.hpp"
+#include "liberty/testing/oracle.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+TEST(FuzzStress, FiveHundredSeedsZeroDivergence) {
+  liberty::core::ModuleRegistry registry;
+  liberty::pcl::register_pcl(registry);
+  liberty::ccl::register_ccl(registry);
+  const liberty::testing::FuzzConfig cfg;
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    const liberty::testing::NetSpec spec =
+        liberty::testing::generate_netlist(seed, cfg);
+    const liberty::testing::OracleResult r =
+        liberty::testing::run_oracle(spec, registry);
+    ASSERT_TRUE(r.ok) << "seed " << seed << "\n"
+                      << r.report() << spec.render();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Golden-output regression tests for the example LSS specifications.
+//
+// Each spec is elaborated and simulated for a fixed cycle count under the
+// static scheduler; the statistics dump (and, for funnel, the VCD
+// waveform) must match the checked-in golden files byte for byte.
+//
+// Updating goldens after an intentional behaviour change:
+//
+//   LIBERTY_UPDATE_GOLDEN=1 ctest -R Golden
+//
+// then review the diff of tests/golden/ like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "liberty/ccl/ccl.hpp"
+#include "liberty/core/lss/elaborator.hpp"
+#include "liberty/core/lss/parser.hpp"
+#include "liberty/core/simulator.hpp"
+#include "liberty/core/vcd.hpp"
+#include "liberty/pcl/pcl.hpp"
+#include "liberty/upl/upl.hpp"
+
+#ifndef LIBERTY_REPO_ROOT
+#error "LIBERTY_REPO_ROOT must point at the repository checkout"
+#endif
+
+namespace {
+
+using liberty::core::Netlist;
+using liberty::core::SchedulerKind;
+using liberty::core::Simulator;
+
+liberty::core::ModuleRegistry& full_registry() {
+  static liberty::core::ModuleRegistry r = [] {
+    liberty::core::ModuleRegistry reg;
+    liberty::pcl::register_pcl(reg);
+    liberty::upl::register_upl(reg);
+    liberty::ccl::register_ccl(reg);
+    return reg;
+  }();
+  return r;
+}
+
+bool updating() {
+  const char* env = std::getenv("LIBERTY_UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+std::string golden_path(const std::string& leaf) {
+  return std::string(LIBERTY_REPO_ROOT) + "/tests/golden/" + leaf;
+}
+
+std::string spec_path(const std::string& leaf) {
+  return std::string(LIBERTY_REPO_ROOT) + "/examples/specs/" + leaf;
+}
+
+void compare_or_update(const std::string& actual, const std::string& leaf) {
+  const std::string path = golden_path(leaf);
+  if (updating()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << path << " is missing; regenerate with LIBERTY_UPDATE_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "output of " << leaf << " drifted from its golden; if the change "
+      << "is intentional, rerun with LIBERTY_UPDATE_GOLDEN=1 and review "
+      << "the diff";
+}
+
+/// Elaborate + run one spec; return the stats dump (and optionally fill
+/// `vcd` with the transfer waveform).
+std::string run_spec(const std::string& lss_leaf, std::uint64_t cycles,
+                     std::string* vcd = nullptr) {
+  const auto spec = liberty::core::lss::parse_file(spec_path(lss_leaf));
+  Netlist netlist;
+  liberty::core::lss::Elaborator elab(full_registry());
+  elab.elaborate(spec, netlist);
+  netlist.finalize();
+
+  Simulator sim(netlist, SchedulerKind::Static);
+  std::ostringstream vcd_stream;
+  std::unique_ptr<liberty::core::VcdTracer> tracer;
+  if (vcd != nullptr) {
+    tracer = std::make_unique<liberty::core::VcdTracer>(netlist, vcd_stream);
+    tracer->attach(sim);
+  }
+  sim.run(cycles);
+  if (tracer) {
+    tracer->finish();
+    *vcd = vcd_stream.str();
+  }
+  std::ostringstream stats;
+  netlist.dump_stats(stats);
+  return stats.str();
+}
+
+TEST(Golden, FunnelStatsAndVcd) {
+  std::string vcd;
+  const std::string stats = run_spec("funnel.lss", 300, &vcd);
+  compare_or_update(stats, "funnel.stats.txt");
+  compare_or_update(vcd, "funnel.vcd");
+}
+
+TEST(Golden, BusnetStats) {
+  compare_or_update(run_spec("busnet.lss", 300), "busnet.stats.txt");
+}
+
+TEST(Golden, CpuStats) {
+  compare_or_update(run_spec("cpu.lss", 500), "cpu.stats.txt");
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// liberty_fuzz: command-line driver for the differential fuzz harness.
+//
+// Generates seeded random netlists, runs each under the dynamic reference
+// scheduler plus a battery of candidates (static, parallel at several
+// thread counts), and reports any divergence down to the exact cycle via
+// snapshot/restore bisection.  Every run is reproducible from its seed:
+//
+//   liberty_fuzz --seed 42                 # one netlist, full oracle
+//   liberty_fuzz --seed 1 --count 500      # seeds 1..500
+//   liberty_fuzz --seed 7 --print-spec     # show the generated netlist
+//   liberty_fuzz --seed 7 --shrink         # reduce a failure to a minimal
+//                                          # reproducer before reporting
+//   liberty_fuzz --seed 7 --inject-fault static:50:1
+//                                          # test the harness itself: corrupt
+//                                          # one scheduler and watch the
+//                                          # oracle catch and bisect it
+//
+// Exit status: 0 = all seeds passed, 1 = divergence found, 2 = bad usage.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "liberty/ccl/ccl.hpp"
+#include "liberty/core/scheduler.hpp"
+#include "liberty/pcl/pcl.hpp"
+#include "liberty/testing/fuzzer.hpp"
+#include "liberty/testing/netspec.hpp"
+#include "liberty/testing/oracle.hpp"
+#include "liberty/testing/shrink.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: liberty_fuzz [options]
+  --seed S            first seed (default 1)
+  --count N           number of consecutive seeds to run (default 1)
+  --cycles C          cycle budget per netlist (default 200)
+  --snapshot-every K  snapshot interval for the oracle (default 16)
+  --feedback P        probability of a feedback ring, 0..1 (default 0.5)
+  --no-arbiter        exclude pcl.arbiter from the module mix
+  --no-tee            exclude pcl.tee
+  --no-crossbar       exclude pcl.crossbar
+  --no-mux            exclude pcl.mux
+  --no-buffer         exclude pcl.buffer
+  --no-ccl            exclude ccl.traffic_gen / ccl.traffic_sink
+  --print-spec        print each generated netlist before running it
+  --shrink            on failure, shrink to a minimal reproducer
+  --no-bisect         skip snapshot/restore bisection on divergence
+  --inject-fault K:C:N  corrupt scheduler K (dynamic|static|parallel) from
+                      cycle C on connection N (harness self-test)
+  --help              this text
+)";
+
+struct Options {
+  std::uint64_t seed = 1;
+  std::uint64_t count = 1;
+  liberty::testing::FuzzConfig fuzz;
+  liberty::testing::OracleConfig oracle;
+  bool print_spec = false;
+  bool shrink = false;
+  bool fault_installed = false;
+};
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_fault(const std::string& arg, liberty::core::SchedulerFault& f) {
+  const std::size_t c1 = arg.find(':');
+  const std::size_t c2 = arg.find(':', c1 == std::string::npos ? c1 : c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) return false;
+  f.scheduler_kind = arg.substr(0, c1);
+  std::uint64_t cycle = 0;
+  std::uint64_t conn = 0;
+  if (!parse_u64(arg.substr(c1 + 1, c2 - c1 - 1).c_str(), cycle)) return false;
+  if (!parse_u64(arg.substr(c2 + 1).c_str(), conn)) return false;
+  if (f.scheduler_kind != "dynamic" && f.scheduler_kind != "static" &&
+      f.scheduler_kind != "parallel") {
+    return false;
+  }
+  f.from_cycle = cycle;
+  f.connection = static_cast<liberty::core::ConnId>(conn);
+  return true;
+}
+
+int parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "liberty_fuzz: " << a << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, opt.seed)) return 2;
+    } else if (a == "--count") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, opt.count)) return 2;
+    } else if (a == "--cycles") {
+      std::uint64_t c = 0;
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, c) || c == 0) return 2;
+      opt.fuzz.cycles = static_cast<liberty::core::Cycle>(c);
+    } else if (a == "--snapshot-every") {
+      std::uint64_t k = 0;
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, k) || k == 0) return 2;
+      opt.oracle.snapshot_every = static_cast<liberty::core::Cycle>(k);
+    } else if (a == "--feedback") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.fuzz.feedback_prob = std::strtod(v, nullptr);
+    } else if (a == "--no-arbiter") {
+      opt.fuzz.use_arbiter = false;
+    } else if (a == "--no-tee") {
+      opt.fuzz.use_tee = false;
+    } else if (a == "--no-crossbar") {
+      opt.fuzz.use_crossbar = false;
+    } else if (a == "--no-mux") {
+      opt.fuzz.use_mux = false;
+    } else if (a == "--no-buffer") {
+      opt.fuzz.use_buffer = false;
+    } else if (a == "--no-ccl") {
+      opt.fuzz.use_ccl_traffic = false;
+    } else if (a == "--print-spec") {
+      opt.print_spec = true;
+    } else if (a == "--shrink") {
+      opt.shrink = true;
+    } else if (a == "--no-bisect") {
+      opt.oracle.bisect = false;
+    } else if (a == "--inject-fault") {
+      liberty::core::SchedulerFault fault;
+      const char* v = next();
+      if (v == nullptr || !parse_fault(v, fault)) {
+        std::cerr << "liberty_fuzz: --inject-fault wants kind:cycle:conn\n";
+        return 2;
+      }
+      liberty::core::install_scheduler_fault_for_testing(fault);
+      opt.fault_installed = true;
+    } else {
+      std::cerr << "liberty_fuzz: unknown option " << a << "\n" << kUsage;
+      return 2;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (const int rc = parse_args(argc, argv, opt); rc != 0) return rc;
+
+  liberty::core::ModuleRegistry registry;
+  liberty::pcl::register_pcl(registry);
+  liberty::ccl::register_ccl(registry);
+
+  std::uint64_t failures = 0;
+  for (std::uint64_t s = opt.seed; s < opt.seed + opt.count; ++s) {
+    liberty::testing::NetSpec spec;
+    try {
+      spec = liberty::testing::generate_netlist(s, opt.fuzz);
+    } catch (const std::exception& e) {
+      std::cerr << "seed " << s << ": generator error: " << e.what() << "\n";
+      return 1;
+    }
+    if (opt.print_spec) {
+      std::cout << "# seed " << s << "\n" << spec.render();
+    }
+
+    liberty::testing::OracleResult result;
+    try {
+      result = liberty::testing::run_oracle(spec, registry, opt.oracle);
+    } catch (const std::exception& e) {
+      std::cerr << "seed " << s << ": oracle error: " << e.what() << "\n"
+                << spec.render();
+      ++failures;
+      continue;
+    }
+    if (result.ok) {
+      if (opt.count == 1 || opt.print_spec) {
+        std::cout << "seed " << s << ": ok (" << spec.modules.size()
+                  << " modules, " << spec.edges.size() << " connections, "
+                  << spec.cycles << " cycles)\n";
+      }
+      continue;
+    }
+
+    ++failures;
+    std::cout << "seed " << s << ": DIVERGENCE\n" << result.report();
+    if (opt.shrink) {
+      liberty::testing::ShrinkStats st;
+      const liberty::testing::NetSpec reduced =
+          liberty::testing::shrink_netlist(spec, registry, opt.oracle, &st);
+      std::cout << "shrink: " << spec.modules.size() << " -> "
+                << reduced.modules.size() << " modules ("
+                << st.attempts << " candidates, " << st.accepted
+                << " accepted)\n"
+                << "minimal reproducer:\n" << reduced.render()
+                << liberty::testing::run_oracle(reduced, registry, opt.oracle)
+                       .report();
+    } else {
+      std::cout << "reproduce with: liberty_fuzz --seed " << s
+                << " --cycles " << spec.cycles << " --print-spec\n";
+    }
+  }
+
+  if (opt.fault_installed) liberty::core::clear_scheduler_fault_for_testing();
+  if (opt.count > 1) {
+    std::cout << (opt.count - failures) << "/" << opt.count
+              << " seeds passed\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
