@@ -87,6 +87,7 @@ struct Result {
   unsigned threads = 0;          // parallel only
   std::uint64_t waves = 0;       // parallel only
   std::uint64_t max_wave_width = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> kernel;
 };
 
 Result run(void (*build)(core::Netlist&), const SchedulerSpec& spec,
@@ -108,6 +109,7 @@ Result run(void (*build)(core::Netlist&), const SchedulerSpec& spec,
     r.waves = par->wave_count();
     r.max_wave_width = par->max_wave_width();
   }
+  r.kernel = kernel_counters(sim.scheduler());
   return r;
 }
 
@@ -152,6 +154,7 @@ int main() {
         json.field("waves", r.waves);
         json.field("max_wave_width", r.max_wave_width);
       }
+      emit_kernel_counters(json, r.kernel);
       json.end_object();
     }
     json.end_array();

@@ -3,8 +3,11 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "liberty/ccl/ccl.hpp"
@@ -156,5 +159,26 @@ class JsonWriter {
   std::size_t depth_ = 0;
   bool need_comma_ = false;
 };
+
+/// Snapshot of a scheduler's introspection counters (visit_counters),
+/// taken after a run so it can be emitted into a JSON record later.
+inline std::vector<std::pair<std::string, std::uint64_t>> kernel_counters(
+    const core::SchedulerBase& sched) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  sched.visit_counters([&out](std::string_view name, std::uint64_t v) {
+    out.emplace_back(std::string(name), v);
+  });
+  return out;
+}
+
+/// Emit counters captured by kernel_counters() into the current JSON
+/// object, prefixed "kernel." to keep names collision-free.
+inline void emit_kernel_counters(
+    JsonWriter& json,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  for (const auto& [name, v] : counters) {
+    json.field(("kernel." + name).c_str(), v);
+  }
+}
 
 }  // namespace liberty::bench

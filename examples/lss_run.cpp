@@ -9,10 +9,20 @@
 //                         (0 = hardware concurrency)        [0]
 //     --dot FILE          write the netlist as Graphviz DOT and exit
 //     --vcd FILE          also record a VCD transfer waveform
+//     --profile FILE      write a Chrome trace-event JSON profile
+//                         (load in Perfetto / chrome://tracing)
+//     --metrics FILE      write the liberty.metrics JSON dump (module
+//                         stats + scheduler counters + profile)
+//     --metrics-csv FILE  same metrics as flat CSV
+//     --heartbeat N       print a progress line every N cycles
 //     --quiet             suppress the statistics dump
 //
+// Options also accept --flag=value spelling.
+//
 // This is the Figure-1 pipeline end to end: specification in, executable
-// simulator out, with the full component catalog available.
+// simulator out, with the full component catalog available — plus the
+// observability exporters of docs/observability.md.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +37,9 @@
 #include "liberty/core/vcd.hpp"
 #include "liberty/mpl/mpl.hpp"
 #include "liberty/nil/nil.hpp"
+#include "liberty/obs/metrics.hpp"
+#include "liberty/obs/profiler.hpp"
+#include "liberty/obs/trace.hpp"
 #include "liberty/pcl/pcl.hpp"
 #include "liberty/upl/upl.hpp"
 
@@ -57,7 +70,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s SPEC.lss [--cycles N] [--param NAME=VALUE]...\n"
                "       [--scheduler dyn|static|parallel] [--threads N]\n"
-               "       [--dot FILE] [--vcd FILE] [--quiet]\n",
+               "       [--dot FILE] [--vcd FILE] [--profile FILE]\n"
+               "       [--metrics FILE] [--metrics-csv FILE]\n"
+               "       [--heartbeat N] [--quiet]\n",
                argv0);
   return 2;
 }
@@ -73,11 +88,26 @@ int main(int argc, char** argv) {
   unsigned threads = 0;
   std::string dot_path;
   std::string vcd_path;
+  std::string profile_path;
+  std::string metrics_path;
+  std::string metrics_csv_path;
+  std::uint64_t heartbeat = 0;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept --flag=value as well as --flag value.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", arg.c_str());
         std::exit(2);
@@ -104,6 +134,14 @@ int main(int argc, char** argv) {
       dot_path = next();
     } else if (arg == "--vcd") {
       vcd_path = next();
+    } else if (arg == "--profile") {
+      profile_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else if (arg == "--metrics-csv") {
+      metrics_csv_path = next();
+    } else if (arg == "--heartbeat") {
+      heartbeat = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -146,8 +184,60 @@ int main(int argc, char** argv) {
       tracer->attach(sim);
     }
 
-    const auto ran = sim.run(cycles);
+    // Observability: the profiler is the kernel probe; the trace writer
+    // (when requested) chains behind it as a sink.  --metrics alone still
+    // profiles so the dump can attribute time per module and phase.
+    liberty::obs::CycleProfiler profiler;
+    std::unique_ptr<liberty::obs::ChromeTraceWriter> trace;
+    std::ofstream trace_file;
+    const bool want_profile = !profile_path.empty() || !metrics_path.empty() ||
+                              !metrics_csv_path.empty();
+    if (!profile_path.empty()) {
+      trace_file.open(profile_path);
+      trace = std::make_unique<liberty::obs::ChromeTraceWriter>(trace_file);
+      trace->attach_transfers(sim);
+      profiler.set_sink(trace.get());
+    }
+    if (want_profile) sim.set_probe(&profiler);
+
+    std::uint64_t ran = 0;
+    if (heartbeat == 0) {
+      ran = sim.run(cycles);
+    } else {
+      while (ran < cycles) {
+        const std::uint64_t chunk = std::min(heartbeat, cycles - ran);
+        const auto step = sim.run(chunk);
+        ran += step;
+        std::fprintf(stderr, "heartbeat: cycle %llu/%llu\n",
+                     static_cast<unsigned long long>(ran),
+                     static_cast<unsigned long long>(cycles));
+        if (step < chunk) break;  // a module requested a stop
+      }
+    }
     if (tracer) tracer->finish();
+    if (trace) trace->finish();
+
+    if (!metrics_path.empty() || !metrics_csv_path.empty()) {
+      liberty::obs::MetricsRegistry reg;
+      reg.collect_modules(netlist);
+      reg.collect_scheduler(sim.scheduler());
+      reg.collect_profile(profiler, &netlist);
+      liberty::obs::RunMeta meta;
+      meta.tool = "lss_run";
+      meta.spec = spec_path;
+      meta.scheduler = std::string(sim.scheduler().kind_name());
+      meta.threads = threads;
+      meta.cycles = ran;
+      meta.git_rev = liberty::obs::current_git_rev();
+      if (!metrics_path.empty()) {
+        std::ofstream mf(metrics_path);
+        reg.write_json(mf, meta);
+      }
+      if (!metrics_csv_path.empty()) {
+        std::ofstream mf(metrics_csv_path);
+        reg.write_csv(mf, meta);
+      }
+    }
 
     std::printf("%s: %zu instances, %zu connections, %llu cycles simulated\n",
                 spec_path.c_str(), netlist.module_count(),

@@ -26,6 +26,34 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 echo "=== release build ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build -j "$jobs"
+
+# Observability smoke: a profiled run must produce parseable artifacts of
+# the documented schema (docs/observability.md).
+echo "=== profile smoke ==="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./build/examples/lss_run examples/specs/funnel.lss --cycles 200 \
+  --profile="$smoke_dir/trace.json" --metrics="$smoke_dir/metrics.json" \
+  --quiet >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$smoke_dir/trace.json" "$smoke_dir/metrics.json" <<'PY'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace.get("traceEvents")
+assert isinstance(events, list) and events, "trace has no traceEvents"
+assert all("ph" in e for e in events), "trace event missing ph"
+metrics = json.load(open(sys.argv[2]))
+assert metrics.get("schema") == "liberty.metrics", metrics.get("schema")
+assert metrics.get("schema_version") == 1, metrics.get("schema_version")
+for key in ("meta", "counters", "scalars", "summaries"):
+    assert key in metrics, "metrics missing " + key
+print("profile smoke ok: %d trace events, %d counters"
+      % (len(events), len(metrics["counters"])))
+PY
+else
+  echo "python3 not found; skipped JSON schema validation"
+fi
+
 echo "=== release tests ==="
 if [ "$quick" -eq 1 ]; then
   ctest --test-dir build --output-on-failure -j "$jobs" -LE fuzz

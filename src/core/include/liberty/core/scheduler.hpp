@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "liberty/core/netlist.hpp"
+#include "liberty/core/probe.hpp"
 #include "liberty/core/types.hpp"
 
 namespace liberty::core {
@@ -59,9 +60,25 @@ struct ResolveCtx {
   std::uint64_t reacts = 0;       // Module::react invocations
   std::uint64_t defaults = 0;     // kernel defaulting actions
   std::vector<Connection*> transferred;  // dirty list: completed transfers
+
+  // Profiling lane (active only while a KernelProbe is installed): per-
+  // module react attribution, flushed to the probe and zeroed at the same
+  // synchronization points as the counters above.
+  bool timing = false;
+  std::vector<std::uint64_t> mod_reacts;
+  std::vector<double> mod_seconds;
+
+  void size_profile(std::size_t n_modules) {
+    if (mod_reacts.size() < n_modules) {
+      mod_reacts.resize(n_modules, 0);
+      mod_seconds.resize(n_modules, 0.0);
+    }
+  }
 };
 
 extern thread_local ResolveCtx t_resolve_ctx;
+
+void timed_react(Module& m, ResolveCtx& ctx);
 
 }  // namespace detail
 
@@ -150,6 +167,9 @@ void clear_scheduler_fault_for_testing();
 class SchedulerBase : public ResolveHooks {
  public:
   using TransferObserver = std::function<void(const Connection&, Cycle)>;
+  /// Introspection-counter visitor (see visit_counters).
+  using CounterVisitor =
+      std::function<void(std::string_view name, std::uint64_t value)>;
 
   explicit SchedulerBase(Netlist& netlist);
   ~SchedulerBase() override;
@@ -167,6 +187,19 @@ class SchedulerBase : public ResolveHooks {
     observers_.push_back(std::move(obs));
   }
 
+  /// Install (or clear, with nullptr) the observability probe.  Must be
+  /// called between cycles; the kernel never takes ownership.  With no
+  /// probe installed all instrumentation reduces to null/flag checks.
+  void set_probe(KernelProbe* probe) noexcept { probe_ = probe; }
+  [[nodiscard]] KernelProbe* probe() const noexcept { return probe_; }
+
+  /// Visit every introspection counter of this scheduler, base counters
+  /// first, then subclass-specific ones.  Counter names are stable,
+  /// documented identifiers (docs/observability.md); the obs layer
+  /// federates them into the MetricsRegistry without the kernel depending
+  /// on any exporter.
+  virtual void visit_counters(const CounterVisitor& visit) const;
+
   /// Total react() invocations across all cycles (scheduler efficiency
   /// metric used by bench_scheduler).
   [[nodiscard]] std::uint64_t react_calls() const noexcept {
@@ -175,6 +208,18 @@ class SchedulerBase : public ResolveHooks {
   /// Total kernel defaulting actions across all cycles.
   [[nodiscard]] std::uint64_t defaults_applied() const noexcept {
     return defaults_;
+  }
+  /// Cycles executed by this scheduler (run_cycle invocations).
+  [[nodiscard]] std::uint64_t cycles_run() const noexcept {
+    return cycles_run_;
+  }
+  /// Total channel resolutions across all cycles.
+  [[nodiscard]] std::uint64_t resolutions() const noexcept {
+    return total_resolutions_;
+  }
+  /// Total transfers committed across all cycles.
+  [[nodiscard]] std::uint64_t transfers_committed() const noexcept {
+    return transfers_committed_;
   }
 
   // ResolveHooks: every scheduler counts resolutions and maintains the
@@ -197,8 +242,13 @@ class SchedulerBase : public ResolveHooks {
   }
 
   static void call_react(Module& m) {
-    ++detail::t_resolve_ctx.reacts;
-    m.react();
+    detail::ResolveCtx& ctx = detail::t_resolve_ctx;
+    ++ctx.reacts;
+    if (ctx.timing) {
+      detail::timed_react(m, ctx);
+    } else {
+      m.react();
+    }
   }
   /// Resolve an undriven forward channel to "offers nothing".
   static void default_forward(Connection& c);
@@ -219,10 +269,20 @@ class SchedulerBase : public ResolveHooks {
   /// parallel scheduler at wave joins, under its pool mutex).
   void absorb(const detail::ResolveCtx& delta);
 
+  /// Flush `ctx`'s per-module profiling buffers into the probe and zero
+  /// them.  Serialized by construction: called on the main thread between
+  /// waves, or from a worker under the pool mutex.
+  void flush_profile(detail::ResolveCtx& ctx);
+
   Netlist& netlist_;
   std::vector<TransferObserver> observers_;
+  KernelProbe* probe_ = nullptr;
+  Cycle cycle_ = 0;  // cycle currently executing (valid inside run_cycle)
   std::uint64_t react_calls_ = 0;
   std::uint64_t defaults_ = 0;
+  std::uint64_t cycles_run_ = 0;
+  std::uint64_t total_resolutions_ = 0;
+  std::uint64_t transfers_committed_ = 0;
 
   // Flattened "schedule tape": raw pointers in execution order, so the
   // per-cycle passes walk dense arrays instead of chasing unique_ptrs.
@@ -253,6 +313,18 @@ class DynamicScheduler final : public SchedulerBase {
   void on_forward_resolved(Connection& c) override;
   void on_backward_resolved(Connection& c) override;
 
+  void visit_counters(const CounterVisitor& visit) const override;
+
+  /// Modules actually inserted into the worklist ring (a module already
+  /// queued this epoch does not count).
+  [[nodiscard]] std::uint64_t worklist_pushes() const noexcept {
+    return pushes_;
+  }
+  /// Largest ring occupancy ever observed (capacity sizing headroom).
+  [[nodiscard]] std::size_t ring_high_water() const noexcept {
+    return high_water_;
+  }
+
  protected:
   void resolve_cycle() override;
 
@@ -266,6 +338,8 @@ class DynamicScheduler final : public SchedulerBase {
   std::size_t tail_ = 0;
   std::vector<std::uint64_t> queued_stamp_;  // == epoch_ <=> queued
   std::uint64_t epoch_ = 1;
+  std::uint64_t pushes_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 /// Shared machinery of the analysis-driven schedulers (static & parallel):
@@ -284,6 +358,23 @@ class AnalyzedScheduler : public SchedulerBase {
     return graph_.nodes().size();
   }
 
+  void visit_counters(const CounterVisitor& visit) const override;
+
+  /// Total quiescence passes over multi-node SCC groups (run_scc inner
+  /// iterations, summed over all SCCs); divide by cycles_run() for the
+  /// per-cycle average.
+  [[nodiscard]] std::uint64_t fixedpoint_passes() const noexcept;
+  /// Per-SCC cumulative fixed-point pass counts (indexed like sccs()).
+  /// Singleton SCCs without self-loops never iterate and stay zero.
+  [[nodiscard]] const std::vector<std::uint64_t>& scc_iterations()
+      const noexcept {
+    return scc_iters_;
+  }
+  /// Times the global quiesce-then-default endgame had unresolved work.
+  [[nodiscard]] std::uint64_t cleanup_activations() const noexcept {
+    return cleanup_activations_;
+  }
+
  protected:
   explicit AnalyzedScheduler(Netlist& netlist);
 
@@ -297,6 +388,11 @@ class AnalyzedScheduler : public SchedulerBase {
   // discovery and defaulting-order sorts in the old run_scc hot path).
   std::vector<std::vector<Module*>> scc_drivers_;
   std::vector<std::vector<ChannelId>> scc_order_;  // forwards first
+  // Introspection counters.  scc_iters_ entries are only ever bumped by
+  // the one thread executing that SCC's cluster, so plain counters are
+  // safe under the parallel scheduler.
+  std::vector<std::uint64_t> scc_iters_;
+  std::uint64_t cleanup_activations_ = 0;
 };
 
 /// Statically scheduled sequential resolver built from declared
@@ -337,6 +433,17 @@ class ParallelScheduler final : public AnalyzedScheduler {
   /// available parallelism of this netlist's schedule).
   [[nodiscard]] std::size_t max_wave_width() const noexcept;
 
+  void visit_counters(const CounterVisitor& visit) const override;
+
+  /// Waves handed to the worker pool vs. run inline on the main thread
+  /// (narrow waves skip the cross-thread handoff), across all cycles.
+  [[nodiscard]] std::uint64_t waves_dispatched() const noexcept {
+    return waves_dispatched_;
+  }
+  [[nodiscard]] std::uint64_t waves_inline() const noexcept {
+    return waves_inline_;
+  }
+
  protected:
   void resolve_cycle() override;
 
@@ -352,12 +459,14 @@ class ParallelScheduler final : public AnalyzedScheduler {
   void build_waves();
   void run_cluster(const Cluster& cl);
   void process_clusters();  // pull clusters via next_ until the wave is dry
-  void dispatch_wave(const Wave& w);
-  void worker_main();
+  void dispatch_wave(const Wave& w, std::size_t wave_index, Cycle cycle);
+  void worker_main(unsigned lane);
 
   unsigned threads_ = 1;
   std::vector<Cluster> clusters_;
   std::vector<Wave> waves_;
+  std::uint64_t waves_dispatched_ = 0;
+  std::uint64_t waves_inline_ = 0;
 
   // --- worker pool ---------------------------------------------------------
   std::mutex mu_;
@@ -367,9 +476,11 @@ class ParallelScheduler final : public AnalyzedScheduler {
   std::uint32_t job_first_ = 0;   // cluster range of the current wave
   std::uint32_t job_last_ = 0;
   std::size_t job_chunk_ = 1;
+  bool job_profile_ = false;      // workers time their busy span this wave
   unsigned workers_active_ = 0;
   bool shutdown_ = false;
   std::exception_ptr worker_error_;
+  std::vector<double> lane_busy_;  // per-lane busy seconds, current wave
   std::atomic<std::uint32_t> next_{0};  // chunked work-stealing index
   std::vector<std::jthread> pool_;
 };

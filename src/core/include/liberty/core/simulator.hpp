@@ -107,6 +107,12 @@ class Simulator {
     sched_->add_transfer_observer(std::move(obs));
   }
 
+  /// Install (or clear, with nullptr) the observability probe on the
+  /// underlying scheduler (see liberty/core/probe.hpp).  Probes observe;
+  /// they cannot perturb simulation results — the fuzz oracle verifies
+  /// schedulers stay bit-identical with profiling enabled.
+  void set_probe(KernelProbe* probe) noexcept { sched_->set_probe(probe); }
+
   /// Log every transfer to `os` (a minimal textual waveform for debugging
   /// and for the visualizer integration the paper anticipates).
   void trace_transfers(std::ostream& os);

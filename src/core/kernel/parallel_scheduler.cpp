@@ -20,6 +20,7 @@
 //
 // See docs/scheduling.md for the full invariant discussion.
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <unordered_map>
 
@@ -27,6 +28,14 @@
 #include "liberty/support/error.hpp"
 
 namespace liberty::core {
+
+namespace {
+[[nodiscard]] inline double seconds_between(
+    std::chrono::steady_clock::time_point a,
+    std::chrono::steady_clock::time_point b) noexcept {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
 
 ParallelScheduler::ParallelScheduler(Netlist& netlist, unsigned threads)
     : AnalyzedScheduler(netlist) {
@@ -36,8 +45,9 @@ ParallelScheduler::ParallelScheduler(Netlist& netlist, unsigned threads)
   }
   threads_ = threads;
   build_waves();
+  lane_busy_.assign(threads_, 0.0);
   for (unsigned i = 1; i < threads_; ++i) {
-    pool_.emplace_back([this] { worker_main(); });
+    pool_.emplace_back([this, i] { worker_main(i); });
   }
 }
 
@@ -162,25 +172,37 @@ void ParallelScheduler::process_clusters() {
   }
 }
 
-void ParallelScheduler::dispatch_wave(const Wave& w) {
+void ParallelScheduler::dispatch_wave(const Wave& w, std::size_t wave_index,
+                                      Cycle cycle) {
+  using clock = std::chrono::steady_clock;
+  const bool profiling = probe_ != nullptr;
+  clock::time_point wave_t0;
   {
     std::lock_guard lk(mu_);
     job_first_ = w.first;
     job_last_ = w.last;
     job_chunk_ = std::max<std::size_t>(
         1, (w.last - w.first) / (static_cast<std::size_t>(threads_) * 2));
+    job_profile_ = profiling;
     next_.store(w.first, std::memory_order_relaxed);
     workers_active_ = static_cast<unsigned>(pool_.size());
     ++job_epoch_;
+    if (profiling) {
+      std::fill(lane_busy_.begin(), lane_busy_.end(), 0.0);
+      wave_t0 = clock::now();
+    }
   }
   cv_work_.notify_all();
 
   std::exception_ptr err;
+  clock::time_point main_t0;
+  if (profiling) main_t0 = clock::now();
   try {
     process_clusters();
   } catch (...) {
     err = std::current_exception();
   }
+  if (profiling) lane_busy_[0] = seconds_between(main_t0, clock::now());
 
   {
     std::unique_lock lk(mu_);
@@ -189,27 +211,48 @@ void ParallelScheduler::dispatch_wave(const Wave& w) {
     worker_error_ = nullptr;
   }
   if (err) std::rethrow_exception(err);
+
+  if (profiling) {
+    // Workers are idle again: lane_busy_ is complete and stable.
+    const double wall = seconds_between(wave_t0, clock::now());
+    probe_->on_wave(cycle, wave_index, w.last - w.first, wall);
+    for (unsigned lane = 0; lane < threads_; ++lane) {
+      probe_->on_lane(cycle, wave_index, lane, lane_busy_[lane]);
+    }
+  }
 }
 
-void ParallelScheduler::worker_main() {
+void ParallelScheduler::worker_main(unsigned lane) {
+  using clock = std::chrono::steady_clock;
   std::uint64_t seen = 0;
   while (true) {
+    bool profiling = false;
     {
       std::unique_lock lk(mu_);
       cv_work_.wait(lk, [&] { return shutdown_ || job_epoch_ != seen; });
       if (shutdown_) return;
       seen = job_epoch_;
+      profiling = job_profile_;
     }
     detail::ResolveCtx& ctx = detail::t_resolve_ctx;
     const std::uint64_t r0 = ctx.resolutions;
     const std::uint64_t k0 = ctx.reacts;
     const std::uint64_t d0 = ctx.defaults;
+    clock::time_point t0;
+    if (profiling) {
+      ctx.size_profile(module_tape_.size());
+      ctx.timing = true;
+      t0 = clock::now();
+    }
     std::exception_ptr err;
     try {
       process_clusters();
     } catch (...) {
       err = std::current_exception();
     }
+    const double busy =
+        profiling ? seconds_between(t0, clock::now()) : 0.0;
+    ctx.timing = false;
     {
       std::lock_guard lk(mu_);
       detail::ResolveCtx delta;
@@ -219,14 +262,29 @@ void ParallelScheduler::worker_main() {
       delta.transferred = std::move(ctx.transferred);
       absorb(delta);
       ctx.transferred.clear();
+      if (profiling) {
+        lane_busy_[lane] += busy;
+        flush_profile(ctx);
+      }
       if (err && !worker_error_) worker_error_ = err;
       if (--workers_active_ == 0) cv_done_.notify_one();
     }
   }
 }
 
+void ParallelScheduler::visit_counters(const CounterVisitor& visit) const {
+  AnalyzedScheduler::visit_counters(visit);
+  visit("threads", threads_);
+  visit("waves", waves_.size());
+  visit("clusters", clusters_.size());
+  visit("max_wave_width", max_wave_width());
+  visit("waves_dispatched", waves_dispatched_);
+  visit("waves_inline", waves_inline_);
+}
+
 void ParallelScheduler::resolve_cycle() {
-  for (const Wave& w : waves_) {
+  for (std::size_t wi = 0; wi < waves_.size(); ++wi) {
+    const Wave& w = waves_[wi];
     const std::uint32_t count = w.last - w.first;
     if (count == 0) continue;
     // Dispatch only waves with real concurrency; narrow waves run inline
@@ -235,8 +293,10 @@ void ParallelScheduler::resolve_cycle() {
       for (std::uint32_t i = w.first; i < w.last; ++i) {
         run_cluster(clusters_[i]);
       }
+      ++waves_inline_;
     } else {
-      dispatch_wave(w);
+      dispatch_wave(w, wi, cycle_);
+      ++waves_dispatched_;
     }
   }
   cleanup_unresolved();

@@ -1,6 +1,7 @@
 #include "liberty/core/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "liberty/support/error.hpp"
@@ -9,7 +10,27 @@ namespace liberty::core {
 
 namespace detail {
 thread_local ResolveCtx t_resolve_ctx;
+
+// Out of line so the untimed call_react fast path stays branch+call only.
+void timed_react(Module& m, ResolveCtx& ctx) {
+  const auto t0 = std::chrono::steady_clock::now();
+  m.react();
+  const auto t1 = std::chrono::steady_clock::now();
+  const ModuleId id = m.id();
+  if (id < ctx.mod_reacts.size()) {
+    ++ctx.mod_reacts[id];
+    ctx.mod_seconds[id] += std::chrono::duration<double>(t1 - t0).count();
+  }
+}
 }  // namespace detail
+
+namespace {
+[[nodiscard]] inline double seconds_between(
+    std::chrono::steady_clock::time_point a,
+    std::chrono::steady_clock::time_point b) noexcept {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Test-only fault injection
@@ -299,6 +320,24 @@ void SchedulerBase::absorb(const detail::ResolveCtx& delta) {
                             delta.transferred.end());
 }
 
+void SchedulerBase::flush_profile(detail::ResolveCtx& ctx) {
+  if (probe_ == nullptr) return;
+  const std::size_t n =
+      std::min(ctx.mod_reacts.size(), module_tape_.size());
+  if (n == 0) return;
+  probe_->on_module_batch(ctx.mod_reacts.data(), ctx.mod_seconds.data(), n);
+  std::fill(ctx.mod_reacts.begin(), ctx.mod_reacts.begin() + n, 0);
+  std::fill(ctx.mod_seconds.begin(), ctx.mod_seconds.begin() + n, 0.0);
+}
+
+void SchedulerBase::visit_counters(const CounterVisitor& visit) const {
+  visit("cycles_run", cycles_run_);
+  visit("react_calls", react_calls_);
+  visit("defaults_applied", defaults_);
+  visit("resolutions", total_resolutions_);
+  visit("transfers_committed", transfers_committed_);
+}
+
 void SchedulerBase::verify_resolved(Cycle cycle) const {
 #if defined(LIBERTY_CHECKED_KERNEL)
   constexpr bool kChecked = true;
@@ -327,6 +366,7 @@ void SchedulerBase::run_cycle(Cycle cycle) {
                            cycle >= g_fault.from_cycle,
                        std::memory_order_relaxed);
   }
+  cycle_ = cycle;
   detail::ResolveCtx& ctx = detail::t_resolve_ctx;
   const std::uint64_t r0 = ctx.resolutions;
   const std::uint64_t k0 = ctx.reacts;
@@ -335,10 +375,29 @@ void SchedulerBase::run_cycle(Cycle cycle) {
   cycle_resolutions_ = 0;
   cycle_transferred_.clear();
 
+  // Observability: with a probe installed the cycle is timed phase by
+  // phase and react() calls are attributed per module; with none, the
+  // whole block below is a single null check per phase boundary.
+  KernelProbe* const probe = probe_;
+  using clock = std::chrono::steady_clock;
+  clock::time_point mark;
+  if (probe != nullptr) {
+    probe->on_cycle_begin(cycle);
+    ctx.size_profile(module_tape_.size());
+    ctx.timing = true;
+    mark = clock::now();
+  }
+  const auto end_phase = [&](SchedPhase p) {
+    const clock::time_point now = clock::now();
+    probe->on_phase(p, cycle, seconds_between(mark, now));
+    mark = now;
+  };
+
   for (Module* m : module_tape_) {
     m->now_ = cycle;
     m->cycle_start(cycle);
   }
+  if (probe != nullptr) end_phase(SchedPhase::CycleStart);
 
   resolve_cycle();
 
@@ -353,8 +412,10 @@ void SchedulerBase::run_cycle(Cycle cycle) {
   }
 
   verify_resolved(cycle);
+  if (probe != nullptr) end_phase(SchedPhase::Resolve);
 
   for (Module* m : module_tape_) m->end_of_cycle();
+  if (probe != nullptr) end_phase(SchedPhase::Update);
 
   // Commit transfers from the dirty list in canonical (connection id) order
   // so observer streams are identical across schedulers; concurrent forward/
@@ -371,6 +432,17 @@ void SchedulerBase::run_cycle(Cycle cycle) {
   }
 
   for (Connection* c : conn_tape_) c->reset_channels();
+
+  total_resolutions_ += cycle_resolutions_;
+  transfers_committed_ += dirty.size();
+  ++cycles_run_;
+
+  if (probe != nullptr) {
+    end_phase(SchedPhase::Commit);
+    flush_profile(ctx);
+    ctx.timing = false;
+    probe->on_cycle_end(cycle);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -399,6 +471,16 @@ void DynamicScheduler::enqueue(Module* m) {
   queued_stamp_[id] = epoch_;
   ring_[tail_] = m;
   tail_ = (tail_ + 1) & mask_;
+  ++pushes_;
+  const std::size_t occupancy = (tail_ - head_) & mask_;
+  if (occupancy > high_water_) high_water_ = occupancy;
+}
+
+void DynamicScheduler::visit_counters(const CounterVisitor& visit) const {
+  SchedulerBase::visit_counters(visit);
+  visit("worklist_pushes", pushes_);
+  visit("worklist_high_water", high_water_);
+  visit("worklist_capacity", ring_.size());
 }
 
 void DynamicScheduler::drain() {
@@ -453,6 +535,23 @@ void DynamicScheduler::resolve_cycle() {
 // AnalyzedScheduler
 // ---------------------------------------------------------------------------
 
+std::uint64_t AnalyzedScheduler::fixedpoint_passes() const noexcept {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t n : scc_iters_) sum += n;
+  return sum;
+}
+
+void AnalyzedScheduler::visit_counters(const CounterVisitor& visit) const {
+  SchedulerBase::visit_counters(visit);
+  visit("scc_count", scc_count());
+  visit("largest_scc", largest_scc());
+  visit("fixedpoint_passes", fixedpoint_passes());
+  std::uint64_t busiest = 0;
+  for (const std::uint64_t n : scc_iters_) busiest = std::max(busiest, n);
+  visit("fixedpoint_passes_busiest_scc", busiest);
+  visit("cleanup_activations", cleanup_activations_);
+}
+
 AnalyzedScheduler::AnalyzedScheduler(Netlist& netlist)
     : SchedulerBase(netlist) {
   graph_.build(netlist);
@@ -462,6 +561,7 @@ AnalyzedScheduler::AnalyzedScheduler(Netlist& netlist)
   const auto& sccs = graph_.sccs();
   scc_drivers_.resize(sccs.size());
   scc_order_.resize(sccs.size());
+  scc_iters_.assign(sccs.size(), 0);
   for (std::size_t i = 0; i < sccs.size(); ++i) {
     if (sccs[i].size() == 1 && !graph_.self_loop(i)) continue;
 
@@ -526,6 +626,7 @@ void AnalyzedScheduler::run_scc(std::size_t scc_index) {
   while (true) {
     // React to quiescence within the group.
     while (true) {
+      ++scc_iters_[scc_index];
       const std::uint64_t before = *resolutions;
       for (Module* d : drivers) call_react(*d);
       for (ChannelId ch : group) {
@@ -574,6 +675,7 @@ void AnalyzedScheduler::cleanup_unresolved() {
       }
     }
     if (!any) return;
+    ++cleanup_activations_;
     while (true) {
       const std::uint64_t before = *resolutions;
       for (Module* m : module_tape_) call_react(*m);

@@ -1,0 +1,105 @@
+// Minimal JSON emit/parse support for the observability exporters.
+//
+// The exporters stream JSON (traces can be large, metrics want no
+// intermediate tree), so JsonWriter is a comma-managing streaming writer
+// over std::ostream.  JsonValue/json_parse is the inverse: a deliberately
+// small recursive-descent parser used by the schema checks — tests and
+// scripts/check.sh validate that every emitted artifact round-trips.
+// Neither aims to be a general JSON library; both cover exactly the JSON
+// subset the obs formats emit (finite numbers, \"-and-backslash escapes
+// plus \uXXXX on input, UTF-8 passthrough).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace liberty::obs {
+
+/// Escape a string for embedding in a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer with automatic comma placement.  Callers balance
+/// begin/end themselves; keys are only passed inside objects.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object(const char* key = nullptr) { open('{', key); }
+  void end_object() { close('}'); }
+  void begin_array(const char* key = nullptr) { open('[', key); }
+  void end_array() { close(']'); }
+
+  void field(const char* key, std::string_view v) {
+    prefix(key);
+    os_ << '"' << json_escape(v) << '"';
+  }
+  void field(const char* key, const char* v) {
+    field(key, std::string_view(v));
+  }
+  void field(const char* key, double v);
+  void field(const char* key, std::uint64_t v) {
+    prefix(key);
+    os_ << v;
+  }
+  void field(const char* key, unsigned v) {
+    field(key, static_cast<std::uint64_t>(v));
+  }
+  void field(const char* key, int v) { field(key, static_cast<double>(v)); }
+  void field(const char* key, bool v) {
+    prefix(key);
+    os_ << (v ? "true" : "false");
+  }
+
+  /// Raw array element (pre-rendered JSON; trace events use this to emit
+  /// one compact line per event).
+  void element_raw(std::string_view json) {
+    prefix(nullptr);
+    os_ << json;
+  }
+
+ private:
+  void prefix(const char* key);
+  void open(char bracket, const char* key);
+  void close(char bracket);
+
+  std::ostream& os_;
+  std::size_t depth_ = 0;
+  bool need_comma_ = false;
+};
+
+/// Parsed JSON document node (schema validation only; order-preserving).
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::Object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::Array; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::String;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* get(std::string_view key) const noexcept;
+};
+
+/// Parse a complete JSON document; throws liberty::Error (with position
+/// information) on malformed input or trailing garbage.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+}  // namespace liberty::obs

@@ -1,0 +1,109 @@
+// CycleProfiler: the KernelProbe implementation that turns the kernel's
+// raw timing callbacks into attributed aggregates.
+//
+// The kernel only times (steady_clock reads around phases, waves, lanes
+// and individual react() calls — see liberty/core/probe.hpp); this class
+// decides what those samples *mean*:
+//
+//   per phase     wall seconds and invocation count for each SchedPhase
+//                 (cycle_start, resolve, update, commit)
+//   per module    react() invocations and attributed seconds, indexed by
+//                 ModuleId (delivered pre-aggregated via on_module_batch)
+//   per wave      dispatched-wave count, total cluster occupancy, and
+//                 summed wave wall time (ParallelScheduler only)
+//   per lane      busy seconds per worker lane; idle time is derived as
+//                 (lane count x wave wall) - busy
+//
+// A profiler may chain to a *sink* — another KernelProbe (in practice
+// ChromeTraceWriter) that receives the cycle/phase/wave/lane events for
+// streaming export.  on_module_batch is NOT forwarded: batches arrive
+// from worker threads under the pool mutex, and sinks are main-thread
+// writers.  All other callbacks are serialized by the kernel's contract.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "liberty/core/probe.hpp"
+
+namespace liberty::obs {
+
+class CycleProfiler : public liberty::core::KernelProbe {
+ public:
+  struct PhaseTotals {
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+  struct LaneTotals {
+    double busy_seconds = 0.0;
+    std::uint64_t waves = 0;
+  };
+
+  /// Chain a downstream probe that receives cycle/phase/wave/lane events
+  /// (nullptr to unchain).  The sink must only be swapped while no
+  /// simulation is running.
+  void set_sink(liberty::core::KernelProbe* sink) noexcept { sink_ = sink; }
+
+  // KernelProbe ------------------------------------------------------------
+  void on_cycle_begin(liberty::core::Cycle c) override;
+  void on_cycle_end(liberty::core::Cycle c) override;
+  void on_phase(liberty::core::SchedPhase phase, liberty::core::Cycle c,
+                double seconds) override;
+  void on_wave(liberty::core::Cycle c, std::size_t wave, std::size_t clusters,
+               double seconds) override;
+  void on_lane(liberty::core::Cycle c, std::size_t wave, unsigned lane,
+               double busy_seconds) override;
+  void on_module_batch(const std::uint64_t* reacts, const double* seconds,
+                       std::size_t n) override;
+
+  // Aggregates -------------------------------------------------------------
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] const std::array<PhaseTotals,
+                                 liberty::core::kSchedPhaseCount>&
+  phases() const noexcept {
+    return phases_;
+  }
+  /// Sum of all phase wall seconds (== profiled run_cycle wall time).
+  [[nodiscard]] double total_seconds() const noexcept;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& module_reacts()
+      const noexcept {
+    return mod_reacts_;
+  }
+  [[nodiscard]] const std::vector<double>& module_seconds() const noexcept {
+    return mod_seconds_;
+  }
+
+  [[nodiscard]] std::uint64_t waves() const noexcept { return waves_; }
+  [[nodiscard]] std::uint64_t wave_clusters() const noexcept {
+    return wave_clusters_;
+  }
+  [[nodiscard]] double wave_seconds() const noexcept { return wave_seconds_; }
+  [[nodiscard]] const std::vector<LaneTotals>& lanes() const noexcept {
+    return lanes_;
+  }
+  /// Idle seconds across all lanes: for every dispatched wave each lane is
+  /// occupied for the wave's wall time, so idle = waves x wall - busy.
+  [[nodiscard]] double lane_idle_seconds() const noexcept;
+
+  void reset();
+
+ private:
+  liberty::core::KernelProbe* sink_ = nullptr;
+
+  std::uint64_t cycles_ = 0;
+  std::array<PhaseTotals, liberty::core::kSchedPhaseCount> phases_{};
+  std::vector<std::uint64_t> mod_reacts_;
+  std::vector<double> mod_seconds_;
+
+  std::uint64_t waves_ = 0;
+  std::uint64_t wave_clusters_ = 0;
+  double wave_seconds_ = 0.0;
+  // Wall seconds during which each lane was mobilized (sum of wave wall
+  // times), used to derive idle time per lane.
+  double lane_wall_seconds_ = 0.0;
+  std::vector<LaneTotals> lanes_;
+};
+
+}  // namespace liberty::obs

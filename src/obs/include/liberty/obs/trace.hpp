@@ -1,0 +1,83 @@
+// ChromeTraceWriter: streaming Chrome trace-event JSON exporter.
+//
+// Produces a `{"traceEvents":[...]}` document loadable by Perfetto /
+// chrome://tracing.  Two synthetic "processes" organize the timeline:
+//
+//   pid 1  "liberty kernel"   tid 0 carries one "X" (complete) slice per
+//                             scheduler phase per cycle; wave slices nest
+//                             inside the resolve phase; tid 100+lane
+//                             carries per-lane busy slices of the
+//                             ParallelScheduler pool.
+//   pid 2  "transfers"        one flow-event pair ("s" producer ->
+//                             "f" consumer, tid = ModuleId) per completed
+//                             channel transfer, reusing the kernel's
+//                             TransferObserver seam.
+//
+// Timestamps are microseconds since writer construction; phase/wave/lane
+// slices arrive from the kernel as (end, duration) and are emitted with
+// ts = now - dur.  The writer is main-thread-only: it is installed as the
+// *sink* of a CycleProfiler (which never forwards the worker-thread
+// on_module_batch callback) or directly as the probe of a single-threaded
+// scheduler, and transfer observers run during the serialized commit
+// phase.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+
+#include "liberty/core/probe.hpp"
+#include "liberty/obs/json.hpp"
+
+namespace liberty::core {
+class Simulator;
+}  // namespace liberty::core
+
+namespace liberty::obs {
+
+class ChromeTraceWriter : public liberty::core::KernelProbe {
+ public:
+  explicit ChromeTraceWriter(std::ostream& os);
+  ~ChromeTraceWriter() override;
+
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  /// Install a transfer observer on `sim` that emits one flow-event pair
+  /// per completed transfer, plus thread-name metadata naming every module
+  /// of the netlist.  The simulator must outlive this writer's last cycle.
+  void attach_transfers(liberty::core::Simulator& sim);
+
+  /// Close the traceEvents array and the document.  Idempotent; also run
+  /// by the destructor.  No events may be emitted afterwards.
+  void finish();
+
+  [[nodiscard]] std::uint64_t events_emitted() const noexcept {
+    return events_;
+  }
+
+  // KernelProbe ------------------------------------------------------------
+  void on_phase(liberty::core::SchedPhase phase, liberty::core::Cycle c,
+                double seconds) override;
+  void on_wave(liberty::core::Cycle c, std::size_t wave, std::size_t clusters,
+               double seconds) override;
+  void on_lane(liberty::core::Cycle c, std::size_t wave, unsigned lane,
+               double busy_seconds) override;
+
+ private:
+  [[nodiscard]] double now_us() const;
+  void emit(const char* json);
+  void emit_thread_name(int pid, std::uint64_t tid, const char* name);
+
+  std::ostream& os_;
+  JsonWriter writer_;
+  std::chrono::steady_clock::time_point t0_;
+  bool finished_ = false;
+  std::uint64_t events_ = 0;
+  std::uint64_t flow_ids_ = 0;
+  // Lanes whose thread_name metadata has been emitted (bitmask; lanes
+  // beyond 63 just go unnamed, which Perfetto renders as "tid N").
+  std::uint64_t named_lanes_ = 0;
+};
+
+}  // namespace liberty::obs

@@ -71,11 +71,20 @@ class Histogram {
   [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
   [[nodiscard]] double bucket_width() const noexcept { return width_; }
 
-  /// Value below which `q` (0..1) of the samples fall, estimated from the
-  /// bucket boundaries.
+  /// Value below which `q` (clamped to 0..1) of the samples fall,
+  /// estimated as the upper edge of the bucket containing the ceil(q*n)-th
+  /// sample.  An empty histogram and q <= 0 both report 0; q = 1 reports
+  /// the upper edge of the last occupied bucket (samples beyond the last
+  /// regular bucket land in the overflow bucket, whose upper edge is
+  /// buckets() * bucket_width()).
   [[nodiscard]] double quantile(double q) const noexcept {
-    const auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(acc_.count()));
+    const std::uint64_t n = acc_.count();
+    if (n == 0 || q <= 0.0) return 0.0;
+    if (q > 1.0) q = 1.0;
+    // ceil without <cmath>: the rank of the sample we must reach.
+    auto target = static_cast<std::uint64_t>(q * static_cast<double>(n));
+    if (static_cast<double>(target) < q * static_cast<double>(n)) ++target;
+    if (target == 0) target = 1;
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
       seen += counts_[i];

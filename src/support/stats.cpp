@@ -14,7 +14,7 @@ void StatSet::dump(std::ostream& os, const std::string& prefix) const {
     const auto& s = h.summary();
     os << prefix << '.' << name << " : n=" << s.count() << " mean=" << s.mean()
        << " p50=" << h.quantile(0.5) << " p95=" << h.quantile(0.95)
-       << " max=" << s.max() << '\n';
+       << " p99=" << h.quantile(0.99) << " max=" << s.max() << '\n';
   }
 }
 

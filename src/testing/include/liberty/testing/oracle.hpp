@@ -40,6 +40,10 @@ struct OracleConfig {
   std::vector<Candidate> candidates;
   liberty::core::Cycle snapshot_every = 16;
   bool bisect = true;  // phase 2 on divergence
+  /// Attach a CycleProfiler to every coarse-phase simulator.  The probes
+  /// must be invisible to simulation; running the oracle with this set
+  /// proves profiling does not perturb results.
+  bool profile = false;
 };
 
 /// The oracle's verdict on one (spec, candidate) divergence.

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "liberty/core/state.hpp"
+#include "liberty/obs/profiler.hpp"
 
 namespace liberty::testing {
 
@@ -38,10 +39,15 @@ struct RunRecord {
 
 RunRecord run_full(const NetSpec& spec,
                    const liberty::core::ModuleRegistry& registry,
-                   SchedulerKind kind, unsigned threads, Cycle every) {
+                   SchedulerKind kind, unsigned threads, Cycle every,
+                   bool profile) {
   Netlist netlist;
   spec.build(netlist, registry);
   Simulator sim(netlist, kind, threads);
+  // With config.profile the probe rides along purely to prove it cannot
+  // perturb the comparison; its aggregates are discarded.
+  liberty::obs::CycleProfiler prof;
+  if (profile) sim.set_probe(&prof);
 
   RunRecord rec;
   std::uint64_t hash = kFnv1aInit;
@@ -196,12 +202,12 @@ OracleResult run_oracle(const NetSpec& spec,
   const Cycle every =
       config.snapshot_every == 0 ? 16 : config.snapshot_every;
   const RunRecord ref = run_full(spec, registry, SchedulerKind::Dynamic,
-                                 /*threads=*/0, every);
+                                 /*threads=*/0, every, config.profile);
 
   OracleResult result;
   for (const Candidate& cand : candidates) {
-    const RunRecord rec =
-        run_full(spec, registry, cand.kind, cand.threads, every);
+    const RunRecord rec = run_full(spec, registry, cand.kind, cand.threads,
+                                   every, config.profile);
 
     // First disagreeing window: window w spans snapshots w -> w+1.
     std::size_t bad_window = rec.window_hashes.size();

@@ -21,11 +21,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "liberty/ccl/ccl.hpp"
 #include "liberty/core/scheduler.hpp"
+#include "liberty/core/simulator.hpp"
+#include "liberty/obs/metrics.hpp"
+#include "liberty/obs/profiler.hpp"
+#include "liberty/obs/trace.hpp"
 #include "liberty/pcl/pcl.hpp"
 #include "liberty/testing/fuzzer.hpp"
 #include "liberty/testing/netspec.hpp"
@@ -51,6 +57,12 @@ constexpr const char* kUsage = R"(usage: liberty_fuzz [options]
   --no-bisect         skip snapshot/restore bisection on divergence
   --inject-fault K:C:N  corrupt scheduler K (dynamic|static|parallel) from
                       cycle C on connection N (harness self-test)
+  --profile FILE      run every oracle simulator with a kernel profiler
+                      attached (proving probes cannot perturb results) and
+                      write a Chrome trace of the first seed's reference run
+  --metrics FILE      as --profile, but write the liberty.metrics JSON dump
+                      of the first seed's reference run
+  --heartbeat N       print a progress line every N seeds
   --help              this text
 )";
 
@@ -59,6 +71,9 @@ struct Options {
   std::uint64_t count = 1;
   liberty::testing::FuzzConfig fuzz;
   liberty::testing::OracleConfig oracle;
+  std::string profile_path;
+  std::string metrics_path;
+  std::uint64_t heartbeat = 0;
   bool print_spec = false;
   bool shrink = false;
   bool fault_installed = false;
@@ -92,8 +107,19 @@ bool parse_fault(const std::string& arg, liberty::core::SchedulerFault& f) {
 
 int parse_args(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
+    std::string a = argv[i];
+    // Accept --flag=value as well as --flag value.
+    std::string inline_value;
+    bool has_inline = false;
+    if (a.rfind("--", 0) == 0) {
+      if (const auto eq = a.find('='); eq != std::string::npos) {
+        inline_value = a.substr(eq + 1);
+        a.resize(eq);
+        has_inline = true;
+      }
+    }
     const auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       if (i + 1 >= argc) {
         std::cerr << "liberty_fuzz: " << a << " needs a value\n";
         return nullptr;
@@ -150,12 +176,63 @@ int parse_args(int argc, char** argv, Options& opt) {
       }
       liberty::core::install_scheduler_fault_for_testing(fault);
       opt.fault_installed = true;
+    } else if (a == "--profile") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.profile_path = v;
+      opt.oracle.profile = true;
+    } else if (a == "--metrics") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.metrics_path = v;
+      opt.oracle.profile = true;
+    } else if (a == "--heartbeat") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, opt.heartbeat)) return 2;
     } else {
       std::cerr << "liberty_fuzz: unknown option " << a << "\n" << kUsage;
       return 2;
     }
   }
   return 0;
+}
+
+/// Instrumented reference (dynamic) run of one spec: writes the --profile
+/// trace and/or --metrics dump requested on the command line.
+void write_artifacts(const liberty::testing::NetSpec& spec,
+                     const liberty::core::ModuleRegistry& registry,
+                     std::uint64_t seed, const Options& opt) {
+  liberty::core::Netlist netlist;
+  spec.build(netlist, registry);
+  liberty::core::Simulator sim(netlist,
+                               liberty::core::SchedulerKind::Dynamic);
+  liberty::obs::CycleProfiler prof;
+  std::unique_ptr<liberty::obs::ChromeTraceWriter> trace;
+  std::ofstream trace_file;
+  if (!opt.profile_path.empty()) {
+    trace_file.open(opt.profile_path);
+    trace = std::make_unique<liberty::obs::ChromeTraceWriter>(trace_file);
+    trace->attach_transfers(sim);
+    prof.set_sink(trace.get());
+  }
+  sim.set_probe(&prof);
+  const auto ran = sim.run(spec.cycles);
+  if (trace) trace->finish();
+  if (!opt.metrics_path.empty()) {
+    liberty::obs::MetricsRegistry reg;
+    reg.collect_modules(netlist);
+    reg.collect_scheduler(sim.scheduler());
+    reg.collect_profile(prof, &netlist);
+    liberty::obs::RunMeta meta;
+    meta.tool = "liberty_fuzz";
+    meta.spec = "seed " + std::to_string(seed);
+    meta.scheduler = "dynamic";
+    meta.seed = seed;
+    meta.cycles = ran;
+    meta.git_rev = liberty::obs::current_git_rev();
+    std::ofstream mf(opt.metrics_path);
+    reg.write_json(mf, meta);
+  }
 }
 
 }  // namespace
@@ -180,6 +257,15 @@ int main(int argc, char** argv) {
     if (opt.print_spec) {
       std::cout << "# seed " << s << "\n" << spec.render();
     }
+    if (s == opt.seed &&
+        (!opt.profile_path.empty() || !opt.metrics_path.empty())) {
+      try {
+        write_artifacts(spec, registry, s, opt);
+      } catch (const std::exception& e) {
+        std::cerr << "seed " << s << ": artifact error: " << e.what() << "\n";
+        return 1;
+      }
+    }
 
     liberty::testing::OracleResult result;
     try {
@@ -195,6 +281,13 @@ int main(int argc, char** argv) {
         std::cout << "seed " << s << ": ok (" << spec.modules.size()
                   << " modules, " << spec.edges.size() << " connections, "
                   << spec.cycles << " cycles)\n";
+      }
+      if (opt.heartbeat != 0) {
+        const std::uint64_t done = s - opt.seed + 1;
+        if (done % opt.heartbeat == 0) {
+          std::cerr << "heartbeat: " << done << "/" << opt.count
+                    << " seeds, " << failures << " failures\n";
+        }
       }
       continue;
     }
