@@ -7,7 +7,10 @@
 //     --scheduler dyn|static|parallel                       [static]
 //     --threads N         worker threads for --scheduler parallel
 //                         (0 = hardware concurrency)        [0]
+//     --opt-level N       elaboration-time optimizer level 0..2 [2]
+//     --opt-report        print the optimizer's per-item report
 //     --dot FILE          write the netlist as Graphviz DOT and exit
+//                         (annotated with optimizer conclusions at -O1+)
 //     --vcd FILE          also record a VCD transfer waveform
 //     --profile FILE      write a Chrome trace-event JSON profile
 //                         (load in Perfetto / chrome://tracing)
@@ -40,6 +43,7 @@
 #include "liberty/obs/metrics.hpp"
 #include "liberty/obs/profiler.hpp"
 #include "liberty/obs/trace.hpp"
+#include "liberty/opt/optimizer.hpp"
 #include "liberty/pcl/pcl.hpp"
 #include "liberty/upl/upl.hpp"
 
@@ -70,6 +74,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s SPEC.lss [--cycles N] [--param NAME=VALUE]...\n"
                "       [--scheduler dyn|static|parallel] [--threads N]\n"
+               "       [--opt-level N] [--opt-report]\n"
                "       [--dot FILE] [--vcd FILE] [--profile FILE]\n"
                "       [--metrics FILE] [--metrics-csv FILE]\n"
                "       [--heartbeat N] [--quiet]\n",
@@ -92,6 +97,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string metrics_csv_path;
   std::uint64_t heartbeat = 0;
+  int opt_level = 2;
+  bool opt_report = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -130,6 +137,11 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--opt-level") {
+      opt_level = static_cast<int>(std::strtol(next(), nullptr, 10));
+      if (opt_level < 0 || opt_level > 2) return usage(argv[0]);
+    } else if (arg == "--opt-report") {
+      opt_report = true;
     } else if (arg == "--dot") {
       dot_path = next();
     } else if (arg == "--vcd") {
@@ -166,9 +178,16 @@ int main(int argc, char** argv) {
     elab.elaborate(spec, netlist, overrides);
     netlist.finalize();
 
+    const liberty::opt::OptReport rep = liberty::opt::optimize(
+        netlist, liberty::opt::OptOptions::for_level(opt_level));
+    if (!quiet) std::printf("%s\n", rep.summary().c_str());
+    if (opt_report && !rep.detail.empty()) {
+      std::fputs(rep.detail.c_str(), stdout);
+    }
+
     if (!dot_path.empty()) {
       std::ofstream dot(dot_path);
-      netlist.write_dot(dot);
+      liberty::opt::write_annotated_dot(netlist, dot);
       std::printf("wrote %s (%zu instances, %zu connections)\n",
                   dot_path.c_str(), netlist.module_count(),
                   netlist.connection_count());

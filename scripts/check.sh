@@ -54,6 +54,23 @@ else
   echo "python3 not found; skipped JSON schema validation"
 fi
 
+# Optimizer golden-stats: every example spec must produce identical
+# statistics at -O0 and at the default -O2 (docs/optimizer.md).  This is
+# the cheap end of the bit-identity guarantee; the oracle and fuzz sweep
+# prove it in depth over traces and state digests.
+echo "=== optimizer -O0 vs -O2 stats ==="
+for spec in examples/specs/*.lss; do
+  ./build/examples/lss_run "$spec" --cycles 500 --opt-level 0 \
+    | grep -v '^opt:' >"$smoke_dir/stats-o0.txt"
+  ./build/examples/lss_run "$spec" --cycles 500 --opt-level 2 \
+    | grep -v '^opt:' >"$smoke_dir/stats-o2.txt"
+  if ! diff -u "$smoke_dir/stats-o0.txt" "$smoke_dir/stats-o2.txt"; then
+    echo "optimizer changed observable stats on $spec" >&2
+    exit 1
+  fi
+done
+echo "optimizer stats identical on $(ls examples/specs/*.lss | wc -l) specs"
+
 echo "=== release tests ==="
 if [ "$quick" -eq 1 ]; then
   ctest --test-dir build --output-on-failure -j "$jobs" -LE fuzz

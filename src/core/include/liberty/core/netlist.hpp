@@ -17,6 +17,7 @@
 
 #include "liberty/core/connection.hpp"
 #include "liberty/core/module.hpp"
+#include "liberty/core/opt.hpp"
 #include "liberty/core/types.hpp"
 
 namespace liberty::core {
@@ -93,6 +94,16 @@ class Netlist {
   /// "interactive system visualizer" would consume).
   void write_dot(std::ostream& os) const;
 
+  /// Attach (or clear, with nullptr) the optimizer's plan.  Must be done
+  /// before any scheduler is constructed; schedulers capture the plan at
+  /// construction.  Null plan == simulate the netlist exactly as written.
+  void set_opt_plan(std::shared_ptr<const OptPlan> plan) noexcept {
+    opt_plan_ = std::move(plan);
+  }
+  [[nodiscard]] const OptPlan* opt_plan() const noexcept {
+    return opt_plan_.get();
+  }
+
  private:
   friend class SchedulerBase;
 
@@ -101,6 +112,7 @@ class Netlist {
   std::vector<std::unique_ptr<Module>> modules_;
   std::unordered_map<std::string, Module*> by_name_;
   std::vector<std::unique_ptr<Connection>> conns_;
+  std::shared_ptr<const OptPlan> opt_plan_;
 };
 
 }  // namespace liberty::core

@@ -137,6 +137,9 @@ class Port {
   /// Whether unconnected *output* endpoints report acked().  Defaults to
   /// true so that producers with nowhere to send do not stall.
   void set_unconnected_ack(bool a) noexcept { unconnected_ack_ = a; }
+  [[nodiscard]] bool unconnected_ack() const noexcept {
+    return unconnected_ack_;
+  }
 
   [[nodiscard]] AckMode default_ack_mode() const noexcept {
     return default_ack_;

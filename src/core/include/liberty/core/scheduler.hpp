@@ -144,6 +144,127 @@ class ScheduleGraph {
   std::vector<char> self_loop_;                // per SCC index
 };
 
+/// Runtime state of the optimizer's quiescence-gating pass (OptPlan::gating).
+///
+/// The gate learns, per schedule-graph SCC, whether the SCC's result this
+/// cycle is forced to equal last cycle's: every module driving a channel of
+/// the SCC declared sleepable() and reports can_sleep(), the cached result
+/// from last cycle is valid, and every boundary channel (predecessors
+/// outside the SCC) resolved to exactly its cached signal and value.  When
+/// all hold, the SCC's channels are *replayed* from the cache — each channel
+/// still resolves, through the normal send/idle/ack/nack paths with all
+/// hooks firing, so transfer traces, digests and stats stay bit-identical —
+/// without invoking any module handler.  Modules all of whose driven
+/// channels sit in candidate SCCs additionally skip cycle_start while
+/// asleep, and skip end_of_cycle unless one of their connections transferred
+/// this cycle (transfers must commit state wherever they land).
+///
+/// Thread-safety: per-SCC state is only touched by the cluster executing
+/// that SCC (single writer per wave, waves separated by barriers); the
+/// per-module asleep flags are atomic because wake decisions from one SCC's
+/// cluster race reads from none but TSan-visible skip checks.  Cache
+/// refresh and per-cycle reset run on the main thread between cycles.
+class QuiescenceGate {
+ public:
+  using CounterVisitor =
+      std::function<void(std::string_view name, std::uint64_t value)>;
+
+  /// Derive candidate SCCs and gateable modules from the schedule graph and
+  /// the optimizer plan.  No-op (gate stays disabled) when the plan has no
+  /// gating or nothing qualifies.
+  void build(const ScheduleGraph& graph, const OptPlan& plan,
+             const std::vector<Module*>& modules);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] bool is_candidate(std::uint32_t scc) const noexcept {
+    return enabled_ && candidate_[scc] != 0;
+  }
+  /// Candidate SCC indices in topological order.
+  [[nodiscard]] const std::vector<std::uint32_t>& candidates() const noexcept {
+    return candidates_;
+  }
+  [[nodiscard]] bool module_asleep(ModuleId id) const noexcept {
+    return enabled_ && asleep_[id].load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Reset per-cycle state and mark gateable quiescent modules asleep.
+  /// A module sleeps only when every candidate SCC it drives is armed
+  /// (not backed off) at `cycle` — so a backed-off SCC never has asleep
+  /// drivers and its try_sleep fast path is a single compare.
+  void begin_cycle(Cycle cycle);
+  /// Decide SCC `scc` at its schedule slot: replay from cache when every
+  /// driver can sleep and the boundary is unchanged (returns true), else
+  /// wake any asleep drivers (running their deferred cycle_start for
+  /// `cycle`, and reporting them through `woken` when non-null) and return
+  /// false so the caller executes the SCC normally.
+  bool try_sleep(std::uint32_t scc, Cycle cycle,
+                 std::vector<Module*>* woken = nullptr);
+  /// Stamp modules adjacent to this cycle's transfers (pre-dedup dirty
+  /// list) so skip_end_of_cycle keeps their commit hook.
+  void mark_transfers(const std::vector<Connection*>& transferred,
+                      std::uint64_t token);
+  [[nodiscard]] bool skip_end_of_cycle(const Module& m, std::uint64_t token);
+  /// Refresh caches from this cycle's resolved channels and re-sample
+  /// can_sleep() for next cycle.  Main thread, before reset_channels.
+  /// `cycle` is the cycle that just finished; SCCs backed off past the next
+  /// cycle skip the (Value-copying) snapshot entirely.
+  void refresh(Cycle cycle);
+  /// Drop all learned state (Simulator::restore).
+  void invalidate();
+
+  void visit_counters(const CounterVisitor& visit) const;
+
+ private:
+  struct Ch {
+    Connection* conn = nullptr;
+    ChannelKind kind = ChannelKind::Forward;
+    ChannelId id = 0;
+  };
+  struct SccInfo {
+    std::vector<Ch> members;   // forwards first (replay order)
+    std::vector<Ch> boundary;  // distinct predecessors outside the SCC
+    std::vector<Module*> drivers;  // distinct, first-appearance order
+  };
+
+  [[nodiscard]] bool boundary_unchanged(const SccInfo& si) const;
+  void replay(const SccInfo& si);
+
+  bool enabled_ = false;
+  std::vector<SccInfo> info_;          // per SCC (empty unless candidate)
+  std::vector<char> candidate_;        // per SCC
+  std::vector<std::uint32_t> candidates_;
+  std::vector<Module*> tracked_;       // drivers of candidates + gateable
+  std::vector<std::vector<std::uint32_t>> sccs_of_;  // module -> driven SCCs
+  std::vector<char> gateable_;         // per module
+  std::vector<char> sleep_ok_;         // per module, sampled at refresh
+  std::unique_ptr<std::atomic<std::uint8_t>[]> asleep_;  // per module
+  std::vector<char> slept_;            // per SCC, current cycle
+  std::vector<char> cache_valid_;      // per SCC
+  // Exponential backoff for SCCs that keep failing to sleep: a failed
+  // attempt schedules the next one `backoff_` cycles out (doubling to
+  // kMaxBackoff) so persistently busy SCCs cost one counter compare per
+  // cycle instead of a boundary compare plus a cache snapshot.
+  static constexpr Cycle kMaxBackoff = 64;
+  std::vector<Cycle> attempt_at_;      // per SCC: next attempt cycle
+  std::vector<Cycle> backoff_;         // per SCC: current backoff span
+  // Global retirement: every kAuditPeriod cycles refresh() totals the
+  // sleep counters, and after two consecutive windows with zero sleeps the
+  // gate disables itself for the rest of the run — a netlist that never
+  // quiesces stops paying the per-cycle machinery entirely.
+  static constexpr Cycle kAuditPeriod = 256;
+  Cycle next_audit_ = kAuditPeriod;
+  std::uint64_t sleeps_at_audit_ = 0;
+  int zero_windows_ = 0;
+  std::vector<Tristate> cached_sig_;   // per channel
+  std::vector<Value> cached_val_;      // per channel (asserted forwards)
+  std::vector<std::uint64_t> eoc_stamp_;  // per module: last transfer cycle
+  // Counters.  Per-SCC vectors are single-writer (the SCC's cluster);
+  // eoc_skips_ is main-thread only.
+  std::vector<std::uint64_t> scc_sleeps_;
+  std::vector<std::uint64_t> scc_wakes_;
+  std::uint64_t eoc_skips_ = 0;
+};
+
 // ---- Test-only scheduler fault injection ----------------------------------
 //
 // The differential oracle in liberty_testing proves the three schedulers
@@ -227,6 +348,15 @@ class SchedulerBase : public ResolveHooks {
   void on_forward_resolved(Connection& c) override { note_resolved(c); }
   void on_backward_resolved(Connection& c) override { note_resolved(c); }
 
+  /// Drop all quiescence-gating state learned from previous cycles
+  /// (Simulator::restore: cached channel values no longer describe the
+  /// restored state).
+  void invalidate_sleep_cache() noexcept { gate_.invalidate(); }
+
+  /// The optimizer plan captured from the netlist at construction (null
+  /// when simulating as written).
+  [[nodiscard]] const OptPlan* opt_plan() const noexcept { return plan_; }
+
  protected:
   virtual void resolve_cycle() = 0;
 
@@ -273,6 +403,42 @@ class SchedulerBase : public ResolveHooks {
   /// them.  Serialized by construction: called on the main thread between
   /// waves, or from a worker under the pool mutex.
   void flush_profile(detail::ResolveCtx& ctx);
+
+  // ---- Optimizer consumption ---------------------------------------------
+  //
+  // All optimizer effects are annotations on the unchanged netlist: the
+  // plan tells the scheduler which channels to pre-resolve (apply_consts),
+  // which modules to skip entirely (elided), which module groups to
+  // resolve with one fused sweep (run_chain), and whether quiescence
+  // gating is on (gate_).  plan_ == nullptr restores -O0 behaviour with
+  // one branch per hot-path site.
+
+  /// Pre-resolve all provably constant channels (top of run_cycle; module
+  /// re-drives of the same values are idempotent no-ops).
+  void apply_consts();
+  /// Attempt the forward and backward sweep of fused chain `idx`.  Safe to
+  /// call repeatedly; each sweep runs at most once per cycle (stamped with
+  /// cycles_run_+1, which is monotone even across snapshot restore).
+  void run_chain(std::size_t idx);
+  [[nodiscard]] bool module_elided(ModuleId id) const noexcept {
+    return plan_ != nullptr && plan_->elided[id] != 0;
+  }
+
+  /// Per-chain runtime state: cycle stamps making each sweep single-shot,
+  /// and sweep counters.  Single writer per wave (chain members are
+  /// clustered together by the parallel scheduler), wave barriers order
+  /// cross-thread access.
+  struct ChainState {
+    std::uint64_t fwd_stamp = 0;
+    std::uint64_t bwd_stamp = 0;
+    std::uint64_t fwd_sweeps = 0;
+    std::uint64_t bwd_sweeps = 0;
+  };
+
+  const OptPlan* plan_ = nullptr;
+  QuiescenceGate gate_;
+  std::vector<ChainState> chain_state_;
+  std::uint64_t opt_pre_resolved_ = 0;
 
   Netlist& netlist_;
   std::vector<TransferObserver> observers_;
@@ -332,6 +498,7 @@ class DynamicScheduler final : public SchedulerBase {
   void enqueue(Module* m);
   void drain();
 
+  std::vector<Module*> woken_scratch_;  // gate wake-ups pending enqueue
   std::vector<Module*> ring_;  // power-of-two capacity ring buffer
   std::size_t mask_ = 0;
   std::size_t head_ = 0;

@@ -112,6 +112,17 @@ void ParallelScheduler::build_waves() {
             static_cast<std::uint32_t>(c->consumer()->id()));
     }
   }
+  // Fused chains share per-chain sweep state, and a sweep resolves
+  // channels homed on every member, so all members must execute on one
+  // thread per wave.
+  if (plan_ != nullptr) {
+    for (const OptPlan::Chain& ch : plan_->chains) {
+      const auto first = static_cast<std::uint32_t>(ch.members.front()->id());
+      for (const Module* m : ch.members) {
+        unite(first, static_cast<std::uint32_t>(m->id()));
+      }
+    }
+  }
 
   // 3. Per-wave clusters keyed by the home-module union root, SCCs kept in
   // topological (index) order for determinism.
@@ -152,7 +163,13 @@ std::size_t ParallelScheduler::max_wave_width() const noexcept {
 
 void ParallelScheduler::run_cluster(const Cluster& cl) {
   const auto& sccs = graph_.sccs();
+  const bool gating = gate_.enabled();
   for (std::uint32_t s : cl.sccs) {
+    // Quiescence gating: SCC state is only touched by this cluster (its
+    // channels' home modules all share this cluster's union root), so the
+    // decision is single-threaded per wave; boundary channels belong to
+    // earlier waves and are stable behind the wave barrier.
+    if (gating && gate_.try_sleep(s, cycle_)) continue;
     if (sccs[s].size() == 1 && !graph_.self_loop(s)) {
       execute_node(sccs[s][0]);
     } else {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <utility>
 
 #include "liberty/support/error.hpp"
@@ -252,6 +253,340 @@ std::size_t ScheduleGraph::largest_scc() const noexcept {
 }
 
 // ---------------------------------------------------------------------------
+// QuiescenceGate
+// ---------------------------------------------------------------------------
+
+void QuiescenceGate::build(const ScheduleGraph& graph, const OptPlan& plan,
+                           const std::vector<Module*>& modules) {
+  if (!plan.gating) return;
+  const auto& sccs = graph.sccs();
+  const auto& nodes = graph.nodes();
+  const auto& scc_of = graph.scc_of();
+  const std::size_t n_scc = sccs.size();
+  const std::size_t n_mod = modules.size();
+  const std::size_t n_ch = nodes.size();
+
+  // Candidate SCCs: every channel gate-free (a transfer gate is arbitrary
+  // user code whose invocation pattern replay must not change), every
+  // driver sleepable and not elided (kernel-driven AutoAccept acks are
+  // fine), and not entirely constant (those are already pre-resolved).
+  candidate_.assign(n_scc, 0);
+  for (std::size_t i = 0; i < n_scc; ++i) {
+    bool ok = true;
+    bool all_const = true;
+    for (ChannelId ch : sccs[i]) {
+      const ScheduleGraph::Node& n = nodes[ch];
+      if (n.conn->has_transfer_gate()) {
+        ok = false;
+        break;
+      }
+      if (n.driver != nullptr &&
+          (!plan.module_sleepable(n.driver->id()) ||
+           plan.module_elided(n.driver->id()))) {
+        ok = false;
+        break;
+      }
+      if (ch >= plan.channel_const.size() || plan.channel_const[ch] == 0) {
+        all_const = false;
+      }
+    }
+    if (ok && !all_const) candidate_[i] = 1;
+  }
+
+  // Gateable modules may skip cycle_start/end_of_cycle while asleep, so
+  // every channel they drive must sit in a candidate SCC (otherwise that
+  // channel's normal execution still needs the module's drives).
+  std::vector<char> drives_ok(n_mod, 1);
+  for (ChannelId ch = 0; ch < n_ch; ++ch) {
+    const Module* d = nodes[ch].driver;
+    if (d != nullptr && candidate_[scc_of[ch]] == 0) drives_ok[d->id()] = 0;
+  }
+  gateable_.assign(n_mod, 0);
+  for (std::size_t id = 0; id < n_mod; ++id) {
+    if (plan.module_sleepable(id) && !plan.module_elided(id) &&
+        drives_ok[id] != 0) {
+      gateable_[id] = 1;
+    }
+  }
+
+  info_.assign(n_scc, SccInfo{});
+  candidates_.clear();
+  for (std::size_t i = 0; i < n_scc; ++i) {
+    if (candidate_[i] == 0) continue;
+    candidates_.push_back(static_cast<std::uint32_t>(i));
+    SccInfo& si = info_[i];
+
+    // Members forwards-first so replayed acks never precede their offers.
+    std::vector<ChannelId> order = sccs[i];
+    std::sort(order.begin(), order.end(), [&nodes](ChannelId a, ChannelId b) {
+      const bool af = nodes[a].kind == ChannelKind::Forward;
+      const bool bf = nodes[b].kind == ChannelKind::Forward;
+      if (af != bf) return af;
+      return a < b;
+    });
+    for (ChannelId ch : order) {
+      si.members.push_back(Ch{nodes[ch].conn, nodes[ch].kind, ch});
+    }
+
+    std::vector<ChannelId> boundary;
+    for (ChannelId ch : sccs[i]) {
+      for (ChannelId p : graph.preds()[ch]) {
+        if (scc_of[p] != i) boundary.push_back(p);
+      }
+    }
+    std::sort(boundary.begin(), boundary.end());
+    boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                   boundary.end());
+    for (ChannelId p : boundary) {
+      si.boundary.push_back(Ch{nodes[p].conn, nodes[p].kind, p});
+    }
+
+    for (ChannelId ch : sccs[i]) {
+      Module* d = nodes[ch].driver;
+      if (d != nullptr &&
+          std::find(si.drivers.begin(), si.drivers.end(), d) ==
+              si.drivers.end()) {
+        si.drivers.push_back(d);
+      }
+    }
+  }
+  if (candidates_.empty()) return;
+
+  enabled_ = true;
+  sleep_ok_.assign(n_mod, 0);
+  asleep_ = std::make_unique<std::atomic<std::uint8_t>[]>(n_mod);
+  for (std::size_t i = 0; i < n_mod; ++i) {
+    asleep_[i].store(0, std::memory_order_relaxed);
+  }
+  slept_.assign(n_scc, 0);
+  cache_valid_.assign(n_scc, 0);
+  attempt_at_.assign(n_scc, 0);
+  backoff_.assign(n_scc, 0);
+  cached_sig_.assign(n_ch, Tristate::Unknown);
+  cached_val_.assign(n_ch, Value());
+  eoc_stamp_.assign(n_mod, 0);
+  scc_sleeps_.assign(n_scc, 0);
+  scc_wakes_.assign(n_scc, 0);
+
+  // Modules whose can_sleep() we sample each cycle: drivers of candidate
+  // SCCs (replay eligibility) plus gateable modules that drive nothing
+  // (e.g. pure sinks, whose win is the skipped end_of_cycle).
+  std::vector<char> seen(n_mod, 0);
+  for (std::uint32_t s : candidates_) {
+    for (Module* d : info_[s].drivers) seen[d->id()] = 1;
+  }
+  for (std::size_t id = 0; id < n_mod; ++id) {
+    if (gateable_[id] != 0) seen[id] = 1;
+  }
+  tracked_.clear();
+  for (Module* m : modules) {
+    if (seen[m->id()] != 0) tracked_.push_back(m);
+  }
+  sccs_of_.assign(n_mod, {});
+  for (std::uint32_t s : candidates_) {
+    for (Module* d : info_[s].drivers) sccs_of_[d->id()].push_back(s);
+  }
+}
+
+void QuiescenceGate::begin_cycle(Cycle cycle) {
+  if (!enabled_) return;
+  std::fill(slept_.begin(), slept_.end(), 0);
+  for (Module* m : tracked_) {
+    const ModuleId id = m->id();
+    bool armed = gateable_[id] != 0 && sleep_ok_[id] != 0;
+    if (armed) {
+      for (const std::uint32_t s : sccs_of_[id]) {
+        if (cycle < attempt_at_[s]) {
+          armed = false;
+          break;
+        }
+      }
+    }
+    asleep_[id].store(armed ? 1 : 0, std::memory_order_relaxed);
+  }
+}
+
+bool QuiescenceGate::boundary_unchanged(const SccInfo& si) const {
+  for (const Ch& b : si.boundary) {
+    Tristate cur = Tristate::Unknown;
+    if (b.kind == ChannelKind::Forward) {
+      if (b.conn->forward_known()) {
+        cur = b.conn->enabled() ? Tristate::Asserted : Tristate::Negated;
+      }
+    } else {
+      if (b.conn->ack_known()) {
+        cur = b.conn->acked() ? Tristate::Asserted : Tristate::Negated;
+      }
+    }
+    if (!known(cur) || cur != cached_sig_[b.id]) return false;
+    if (b.kind == ChannelKind::Forward && cur == Tristate::Asserted &&
+        !(b.conn->data() == cached_val_[b.id])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void QuiescenceGate::replay(const SccInfo& si) {
+  // Drive each member channel from the cache through the normal resolution
+  // paths so every hook fires — bit-identity on traces and counters follows
+  // because the values are exactly what re-running the drivers would
+  // produce (unchanged boundary + quiescent state).  Channels something
+  // already resolved (constants, a late-woken driver's cycle_start) are
+  // left alone; the cached value matches by the same argument.
+  for (const Ch& c : si.members) {
+    if (c.kind == ChannelKind::Forward) {
+      if (c.conn->forward_known()) continue;
+      if (cached_sig_[c.id] == Tristate::Asserted) {
+        c.conn->send(cached_val_[c.id]);
+      } else {
+        c.conn->idle();
+      }
+    } else {
+      if (c.conn->ack_known()) continue;
+      if (cached_sig_[c.id] == Tristate::Asserted) {
+        c.conn->ack();
+      } else {
+        c.conn->nack();
+      }
+    }
+  }
+}
+
+bool QuiescenceGate::try_sleep(std::uint32_t scc, Cycle cycle,
+                               std::vector<Module*>* woken) {
+  if (!enabled_ || candidate_[scc] == 0) return false;
+  SccInfo& si = info_[scc];
+  const auto wake_drivers = [&] {
+    for (Module* d : si.drivers) {
+      if (asleep_[d->id()].exchange(0, std::memory_order_relaxed) != 0) {
+        d->cycle_start(cycle);  // deferred start now that it must run
+        if (woken != nullptr) woken->push_back(d);
+      }
+    }
+  };
+  if (cycle < attempt_at_[scc]) {
+    // Backed off after repeated failed attempts: skip the boundary compare
+    // (and refresh skips the snapshot) until the window expires.  Not a
+    // wake — begin_cycle never marks a backed-off SCC's drivers asleep, so
+    // there is nothing to undo.
+    return false;
+  }
+  bool ok = cache_valid_[scc] != 0;
+  if (ok) {
+    for (Module* d : si.drivers) {
+      if (sleep_ok_[d->id()] == 0) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (ok) ok = boundary_unchanged(si);
+  if (!ok) {
+    wake_drivers();
+    ++scc_wakes_[scc];
+    backoff_[scc] = std::min<Cycle>(
+        backoff_[scc] == 0 ? 1 : backoff_[scc] * 2, kMaxBackoff);
+    attempt_at_[scc] = cycle + backoff_[scc];
+    cache_valid_[scc] = 0;  // goes stale while backed off
+    return false;
+  }
+  replay(si);
+  slept_[scc] = 1;
+  ++scc_sleeps_[scc];
+  backoff_[scc] = 0;
+  return true;
+}
+
+void QuiescenceGate::mark_transfers(
+    const std::vector<Connection*>& transferred, std::uint64_t token) {
+  if (!enabled_) return;
+  for (const Connection* c : transferred) {
+    eoc_stamp_[c->producer()->id()] = token;
+    eoc_stamp_[c->consumer()->id()] = token;
+  }
+}
+
+bool QuiescenceGate::skip_end_of_cycle(const Module& m, std::uint64_t token) {
+  if (!enabled_) return false;
+  const ModuleId id = m.id();
+  if (asleep_[id].load(std::memory_order_relaxed) == 0) return false;
+  if (eoc_stamp_[id] == token) return false;  // adjacent transfer: commit
+  ++eoc_skips_;
+  return true;
+}
+
+void QuiescenceGate::refresh(Cycle cycle) {
+  if (!enabled_) return;
+  if (cycle >= next_audit_) {
+    std::uint64_t total = 0;
+    for (std::uint32_t s : candidates_) total += scc_sleeps_[s];
+    zero_windows_ = total == sleeps_at_audit_ ? zero_windows_ + 1 : 0;
+    sleeps_at_audit_ = total;
+    next_audit_ = cycle + kAuditPeriod;
+    if (zero_windows_ >= 2) {
+      // Nothing here ever sleeps — retire.  Counters remain reported (they
+      // read candidates_, not enabled_) and every asleep/candidate query
+      // now short-circuits on enabled_.
+      enabled_ = false;
+      return;
+    }
+  }
+  for (std::uint32_t s : candidates_) {
+    if (slept_[s] != 0) continue;  // cache is already this cycle's values
+    // Backed-off SCCs re-snapshot on the cycle before their next attempt,
+    // restoring the invariant that a consulted cache is exactly one cycle
+    // old (the can_sleep() contract is a single-step promise).
+    if (cycle + 1 < attempt_at_[s]) continue;
+    SccInfo& si = info_[s];
+    const auto snap = [this](const Ch& c) {
+      if (c.kind == ChannelKind::Forward) {
+        const bool en = c.conn->enabled();
+        cached_sig_[c.id] = en ? Tristate::Asserted : Tristate::Negated;
+        cached_val_[c.id] = en ? c.conn->data() : Value();
+      } else {
+        cached_sig_[c.id] =
+            c.conn->acked() ? Tristate::Asserted : Tristate::Negated;
+      }
+    };
+    for (const Ch& c : si.members) snap(c);
+    for (const Ch& c : si.boundary) snap(c);
+    cache_valid_[s] = 1;
+  }
+  for (Module* m : tracked_) {
+    sleep_ok_[m->id()] = m->can_sleep() ? 1 : 0;
+  }
+}
+
+void QuiescenceGate::invalidate() {
+  if (!enabled_) return;
+  std::fill(sleep_ok_.begin(), sleep_ok_.end(), 0);
+  std::fill(cache_valid_.begin(), cache_valid_.end(), 0);
+  std::fill(slept_.begin(), slept_.end(), 0);
+  std::fill(attempt_at_.begin(), attempt_at_.end(), 0);
+  std::fill(backoff_.begin(), backoff_.end(), 0);
+  for (std::size_t i = 0; i < sleep_ok_.size(); ++i) {
+    asleep_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void QuiescenceGate::visit_counters(const CounterVisitor& visit) const {
+  visit("opt.gated_sccs", candidates_.size());
+  std::uint64_t sleeps = 0;
+  std::uint64_t wakes = 0;
+  std::uint64_t replayed = 0;
+  for (std::uint32_t s : candidates_) {
+    sleeps += scc_sleeps_[s];
+    wakes += scc_wakes_[s];
+    replayed += scc_sleeps_[s] * info_[s].members.size();
+  }
+  visit("opt.scc_sleeps", sleeps);
+  visit("opt.scc_wakes", wakes);
+  visit("opt.replayed_resolutions", replayed);
+  visit("opt.eoc_skips", eoc_skips_);
+}
+
+// ---------------------------------------------------------------------------
 // SchedulerBase
 // ---------------------------------------------------------------------------
 
@@ -264,6 +599,8 @@ SchedulerBase::SchedulerBase(Netlist& netlist) : netlist_(netlist) {
   for (const auto& m : netlist.modules()) module_tape_.push_back(m.get());
   conn_tape_.reserve(netlist.connection_count());
   for (const auto& c : netlist.connections()) conn_tape_.push_back(c.get());
+  plan_ = netlist.opt_plan();
+  if (plan_ != nullptr) chain_state_.resize(plan_->chains.size());
   install_hooks(this);
 }
 
@@ -311,6 +648,82 @@ void SchedulerBase::apply_auto_accept(Connection& c) {
   }
 }
 
+void SchedulerBase::apply_consts() {
+  // Forwards come before backwards in the plan so that an AutoAccept ack
+  // constant always finds its offer already known.  Channels a module
+  // already resolved (none at cycle top, but defensively) are left alone;
+  // the module's own later drives of these values are idempotent no-ops.
+  for (const OptPlan::ConstChannel& cc : plan_->consts) {
+    Connection& c = *cc.conn;
+    if (cc.kind == ChannelKind::Forward) {
+      if (c.forward_known()) continue;
+      if (cc.asserted) {
+        c.send(cc.value);
+      } else {
+        c.idle();
+      }
+    } else {
+      if (c.ack_known()) continue;
+      if (cc.asserted) {
+        c.ack();
+      } else {
+        c.nack();
+      }
+    }
+    ++opt_pre_resolved_;
+  }
+}
+
+void SchedulerBase::run_chain(std::size_t idx) {
+  const OptPlan::Chain& ch = plan_->chains[idx];
+  ChainState& st = chain_state_[idx];
+  const std::uint64_t token = cycles_run_ + 1;
+  if (st.fwd_stamp != token && ch.links.front()->forward_known()) {
+    // One pass down the chain resolves every member's output.  A link that
+    // is already resolved (constant, quiescence replay, or a member react
+    // from the cleanup endgame) is adopted as-is — its value was produced
+    // by the member's transform already, preserving exactly-once transform
+    // invocation.
+    bool en = ch.links.front()->enabled();
+    Value v = en ? ch.links.front()->data() : Value();
+    for (std::size_t i = 0; i < ch.members.size(); ++i) {
+      Connection* out = ch.links[i + 1];
+      if (out->forward_known()) {
+        en = out->enabled();
+        if (en) v = out->data();
+        continue;
+      }
+      if (en) {
+        if (ch.transforms[i]) v = ch.transforms[i](v);
+        out->send(v);
+      } else {
+        out->idle();
+      }
+    }
+    st.fwd_stamp = token;
+    ++st.fwd_sweeps;
+  }
+  if (st.bwd_stamp != token && ch.links.back()->ack_known()) {
+    // One pass back up propagates the tail ack to every member input (all
+    // interior links are Managed by construction of the fusion pass).
+    bool a = ch.links.back()->acked();
+    for (std::size_t i = ch.members.size(); i-- > 0;) {
+      Connection* in = ch.links[i];
+      if (in->ack_known()) {
+        a = in->acked();
+        continue;
+      }
+      if (a) {
+        in->ack();
+      } else {
+        in->nack();
+      }
+    }
+    st.bwd_stamp = token;
+    ++st.bwd_sweeps;
+  }
+}
+
 void SchedulerBase::absorb(const detail::ResolveCtx& delta) {
   cycle_resolutions_ += delta.resolutions;
   react_calls_ += delta.reacts;
@@ -336,6 +749,22 @@ void SchedulerBase::visit_counters(const CounterVisitor& visit) const {
   visit("defaults_applied", defaults_);
   visit("resolutions", total_resolutions_);
   visit("transfers_committed", transfers_committed_);
+  if (plan_ != nullptr) {
+    visit("opt.pre_resolved", opt_pre_resolved_);
+    std::uint64_t elided = 0;
+    for (const char e : plan_->elided) elided += (e != 0) ? 1 : 0;
+    visit("opt.elided_modules", elided);
+    visit("opt.fused_chains", plan_->chains.size());
+    std::uint64_t fwd_sweeps = 0;
+    std::uint64_t bwd_sweeps = 0;
+    for (const ChainState& st : chain_state_) {
+      fwd_sweeps += st.fwd_sweeps;
+      bwd_sweeps += st.bwd_sweeps;
+    }
+    visit("opt.fwd_sweeps", fwd_sweeps);
+    visit("opt.bwd_sweeps", bwd_sweeps);
+    gate_.visit_counters(visit);
+  }
 }
 
 void SchedulerBase::verify_resolved(Cycle cycle) const {
@@ -393,8 +822,18 @@ void SchedulerBase::run_cycle(Cycle cycle) {
     mark = now;
   };
 
+  const bool opt = plan_ != nullptr;
+  if (opt) {
+    gate_.begin_cycle(cycle);
+    apply_consts();
+  }
+
   for (Module* m : module_tape_) {
     m->now_ = cycle;
+    if (opt && (plan_->elided[m->id()] != 0 ||
+                gate_.module_asleep(m->id()))) {
+      continue;  // elided: dead logic; asleep: deferred (or replayed) start
+    }
     m->cycle_start(cycle);
   }
   if (probe != nullptr) end_phase(SchedPhase::CycleStart);
@@ -414,7 +853,18 @@ void SchedulerBase::run_cycle(Cycle cycle) {
   verify_resolved(cycle);
   if (probe != nullptr) end_phase(SchedPhase::Resolve);
 
-  for (Module* m : module_tape_) m->end_of_cycle();
+  // Transfers force end_of_cycle on their endpoint modules even when
+  // asleep: a transfer commits state wherever it lands.  The dirty list is
+  // pre-dedup here; duplicate marks are harmless.
+  const std::uint64_t eoc_token = cycles_run_ + 1;
+  if (opt) gate_.mark_transfers(cycle_transferred_, eoc_token);
+  for (Module* m : module_tape_) {
+    if (opt && (plan_->elided[m->id()] != 0 ||
+                gate_.skip_end_of_cycle(*m, eoc_token))) {
+      continue;
+    }
+    m->end_of_cycle();
+  }
   if (probe != nullptr) end_phase(SchedPhase::Update);
 
   // Commit transfers from the dirty list in canonical (connection id) order
@@ -430,6 +880,10 @@ void SchedulerBase::run_cycle(Cycle cycle) {
     c->note_transfer();
     for (const auto& obs : observers_) obs(*c, cycle);
   }
+
+  // Snapshot this cycle's channel values and module quiescence for next
+  // cycle's gating decisions, before the channels are wiped.
+  if (opt) gate_.refresh(cycle);
 
   for (Connection* c : conn_tape_) c->reset_channels();
 
@@ -456,6 +910,14 @@ DynamicScheduler::DynamicScheduler(Netlist& netlist) : SchedulerBase(netlist) {
   ring_.resize(cap);
   mask_ = cap - 1;
   queued_stamp_.assign(n, 0);
+  if (plan_ != nullptr && plan_->gating) {
+    // The dynamic scheduler has no schedule graph of its own; build one
+    // just to derive the gate's candidate SCCs and boundary sets (the
+    // graph itself is not retained).
+    ScheduleGraph graph;
+    graph.build(netlist);
+    gate_.build(graph, *plan_, module_tape_);
+  }
 }
 
 void DynamicScheduler::enqueue(Module* m) {
@@ -466,6 +928,10 @@ void DynamicScheduler::enqueue(Module* m) {
         "module '" + m->name() + "' (id " + std::to_string(id) +
         ") is unknown to this scheduler; the netlist grew after scheduler "
         "construction — rebuild the simulator after adding modules");
+  }
+  if (plan_ != nullptr &&
+      (plan_->elided[id] != 0 || gate_.module_asleep(id))) {
+    return;  // never activate dead or sleeping modules
   }
   if (queued_stamp_[id] == epoch_) return;
   queued_stamp_[id] = epoch_;
@@ -488,6 +954,15 @@ void DynamicScheduler::drain() {
     Module* m = ring_[head_];
     head_ = (head_ + 1) & mask_;
     queued_stamp_[m->id()] = epoch_ - 1;
+    if (plan_ != nullptr) {
+      const std::int32_t chain = plan_->chain_of_module[m->id()];
+      if (chain >= 0) {
+        // Fused pass-through chain: one sweep resolves the whole chain in
+        // place of this member's react.
+        run_chain(static_cast<std::size_t>(chain));
+        continue;
+      }
+    }
     call_react(*m);
   }
 }
@@ -505,6 +980,19 @@ void DynamicScheduler::on_backward_resolved(Connection& c) {
 }
 
 void DynamicScheduler::resolve_cycle() {
+  // Quiescence-gating decision phase, in topological order.  This runs
+  // after the cycle_start loop, so state-only drives of awake producers
+  // (e.g. an exhausted Source idling) are already resolved and upstream
+  // boundaries are decidable; boundaries that resolve only through later
+  // reacts conservatively wake their SCCs.  Replays fire the resolution
+  // hooks, which enqueue awake downstream consumers as usual.
+  if (gate_.enabled()) {
+    woken_scratch_.clear();
+    for (const std::uint32_t s : gate_.candidates()) {
+      gate_.try_sleep(s, cycle_, &woken_scratch_);
+    }
+    for (Module* m : woken_scratch_) enqueue(m);
+  }
   // Every module reacts at least once per cycle so that purely combinational
   // modules run even when none of their inputs produced an event (e.g. all
   // inputs unconnected, reading port defaults).
@@ -565,12 +1053,13 @@ AnalyzedScheduler::AnalyzedScheduler(Netlist& netlist)
   for (std::size_t i = 0; i < sccs.size(); ++i) {
     if (sccs[i].size() == 1 && !graph_.self_loop(i)) continue;
 
-    // Distinct driver modules, in order of first appearance.
+    // Distinct driver modules, in order of first appearance.  Elided
+    // modules never react (their driven channels are all constant).
     for (ChannelId ch : sccs[i]) {
       Module* d = graph_.nodes()[ch].driver;
-      if (d != nullptr && std::find(scc_drivers_[i].begin(),
-                                    scc_drivers_[i].end(),
-                                    d) == scc_drivers_[i].end()) {
+      if (d != nullptr && !module_elided(d->id()) &&
+          std::find(scc_drivers_[i].begin(), scc_drivers_[i].end(), d) ==
+              scc_drivers_[i].end()) {
         scc_drivers_[i].push_back(d);
       }
     }
@@ -586,6 +1075,10 @@ AnalyzedScheduler::AnalyzedScheduler(Netlist& netlist)
                 return a < b;
               });
   }
+
+  if (plan_ != nullptr && plan_->gating) {
+    gate_.build(graph_, *plan_, module_tape_);
+  }
 }
 
 bool AnalyzedScheduler::node_resolved(ChannelId id) const {
@@ -597,6 +1090,18 @@ bool AnalyzedScheduler::node_resolved(ChannelId id) const {
 void AnalyzedScheduler::execute_node(ChannelId id) {
   const ScheduleGraph::Node& n = graph_.nodes()[id];
   Connection& c = *n.conn;
+  if (plan_ != nullptr) {
+    if (plan_->channel_const[id] != 0) return;  // pre-resolved at cycle top
+    const std::int32_t chain = plan_->chain_of_channel[id];
+    if (chain >= 0) {
+      // Fused chain: the sweep resolves this channel (and the rest of the
+      // chain's channels in this direction) in one pass.  Topological
+      // order guarantees the chain's upstream end is known by now, so the
+      // fallback below is defensive only.
+      run_chain(static_cast<std::size_t>(chain));
+      if (node_resolved(id)) return;
+    }
+  }
   if (n.kind == ChannelKind::Forward) {
     if (c.forward_known()) return;
     call_react(*n.driver);
@@ -704,7 +1209,12 @@ StaticScheduler::StaticScheduler(Netlist& netlist)
 
 void StaticScheduler::resolve_cycle() {
   const auto& sccs = graph_.sccs();
+  const bool gating = gate_.enabled();
   for (std::size_t i = 0; i < sccs.size(); ++i) {
+    if (gating &&
+        gate_.try_sleep(static_cast<std::uint32_t>(i), cycle_)) {
+      continue;  // replayed from cache
+    }
     if (sccs[i].size() == 1 && !graph_.self_loop(i)) {
       execute_node(sccs[i][0]);
     } else {

@@ -47,6 +47,9 @@ void Simulator::restore(const KernelSnapshot& snap) {
   }
   now_ = snap.cycle;
   netlist_.set_stop(snap.stop_requested);
+  // The quiescence gate's cached channel values and asleep flags describe
+  // the pre-restore trajectory; drop them so the next cycle re-learns.
+  scheduler().invalidate_sleep_cache();
 }
 
 void Simulator::trace_transfers(std::ostream& os) {

@@ -1,5 +1,7 @@
 #include "liberty/pcl/misc.hpp"
 
+#include "liberty/core/opt.hpp"
+
 namespace liberty::pcl {
 
 using liberty::core::AckMode;
@@ -57,6 +59,17 @@ void Probe::declare_deps(Deps& deps) const {
   deps.depends(in_, {bwd(out_)});
 }
 
+void Probe::declare_opt(liberty::core::OptTraits& traits) const {
+  // Not stateless (count_) and not pure (stats + observer), so never
+  // elided, but the drive behaviour is a pure wire: fusable and gateable.
+  traits.passthrough(in_, out_);
+  traits.sleepable();
+}
+
+bool Probe::can_sleep() const {
+  return true;  // drives depend only on this cycle's port signals
+}
+
 // ---------------------------------------------------------------------------
 // FuncMap
 // ---------------------------------------------------------------------------
@@ -92,5 +105,16 @@ void FuncMap::declare_deps(Deps& deps) const {
   deps.depends(out_, {fwd(in_)});
   deps.depends(in_, {bwd(out_)});
 }
+
+void FuncMap::declare_opt(liberty::core::OptTraits& traits) const {
+  // fn_ must be pure and must be installed (set_fn) before the optimizer
+  // runs; the declared transform is a copy taken here.
+  traits.stateless();
+  traits.pure();
+  traits.sleepable();
+  traits.passthrough(in_, out_, fn_);
+}
+
+bool FuncMap::can_sleep() const { return true; }
 
 }  // namespace liberty::pcl

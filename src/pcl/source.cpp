@@ -1,5 +1,6 @@
 #include "liberty/pcl/source.hpp"
 
+#include "liberty/core/opt.hpp"
 #include "liberty/pcl/payloads.hpp"
 #include "liberty/support/error.hpp"
 
@@ -73,6 +74,19 @@ void Source::end_of_cycle() {
 
 void Source::declare_deps(Deps& deps) const {
   deps.state_only(out_);
+}
+
+void Source::declare_opt(liberty::core::OptTraits& traits) const {
+  // A plain token tap (one empty token, every cycle, forever) offers the
+  // identical (enable, value) pair each cycle regardless of acks: the
+  // backlog is never empty after cycle 0 and its front is always Value().
+  // Counter/random/stamped sources vary their payload, rated and windowed
+  // ones their enable.  Never sleepable: cycle_start samples the backlog
+  // accumulator stat unconditionally.
+  if (kind_ == "token" && period_ == 1 && start_ == 0 && count_ == 0 &&
+      !stamp_) {
+    traits.const_forward(out_, /*enabled=*/true, liberty::Value());
+  }
 }
 
 void Source::save_state(liberty::core::StateWriter& w) const {

@@ -30,6 +30,11 @@ namespace liberty::testing {
 struct Candidate {
   liberty::core::SchedulerKind kind = liberty::core::SchedulerKind::Static;
   unsigned threads = 0;  // parallel only; 0 = hardware concurrency
+  /// Optimizer level applied to the candidate's netlist (opt::optimize)
+  /// before its simulator is built.  The dynamic -O0 reference defines the
+  /// semantics, so a nonzero level here proves the optimizer preserves
+  /// transfer traces, state digests and stats bit-for-bit.
+  int opt_level = 0;
 
   [[nodiscard]] std::string describe() const;
 };

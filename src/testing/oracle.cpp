@@ -7,6 +7,7 @@
 
 #include "liberty/core/state.hpp"
 #include "liberty/obs/profiler.hpp"
+#include "liberty/opt/optimizer.hpp"
 
 namespace liberty::testing {
 
@@ -40,9 +41,13 @@ struct RunRecord {
 RunRecord run_full(const NetSpec& spec,
                    const liberty::core::ModuleRegistry& registry,
                    SchedulerKind kind, unsigned threads, Cycle every,
-                   bool profile) {
+                   bool profile, int opt_level) {
   Netlist netlist;
   spec.build(netlist, registry);
+  if (opt_level > 0) {
+    liberty::opt::optimize(netlist,
+                           liberty::opt::OptOptions::for_level(opt_level));
+  }
   Simulator sim(netlist, kind, threads);
   // With config.profile the probe rides along purely to prove it cannot
   // perturb the comparison; its aggregates are discarded.
@@ -96,6 +101,10 @@ Divergence bisect_window(const NetSpec& spec,
   Netlist nl_cand;
   spec.build(nl_ref, registry);
   spec.build(nl_cand, registry);
+  if (cand.opt_level > 0) {
+    liberty::opt::optimize(
+        nl_cand, liberty::opt::OptOptions::for_level(cand.opt_level));
+  }
   Simulator sim_ref(nl_ref, SchedulerKind::Dynamic);
   Simulator sim_cand(nl_cand, cand.kind, cand.threads);
   // Each side restores its own snapshot (their digests agree at `window`,
@@ -175,6 +184,7 @@ std::string Candidate::describe() const {
   if (kind == liberty::core::SchedulerKind::Parallel) {
     s += "(" + std::to_string(threads) + "t)";
   }
+  if (opt_level > 0) s += "-O" + std::to_string(opt_level);
   return s;
 }
 
@@ -202,12 +212,13 @@ OracleResult run_oracle(const NetSpec& spec,
   const Cycle every =
       config.snapshot_every == 0 ? 16 : config.snapshot_every;
   const RunRecord ref = run_full(spec, registry, SchedulerKind::Dynamic,
-                                 /*threads=*/0, every, config.profile);
+                                 /*threads=*/0, every, config.profile,
+                                 /*opt_level=*/0);
 
   OracleResult result;
   for (const Candidate& cand : candidates) {
     const RunRecord rec = run_full(spec, registry, cand.kind, cand.threads,
-                                   every, config.profile);
+                                   every, config.profile, cand.opt_level);
 
     // First disagreeing window: window w spans snapshots w -> w+1.
     std::size_t bad_window = rec.window_hashes.size();

@@ -1,5 +1,6 @@
 // The long differential sweep: 500 fuzzed netlists, each run under the
-// dynamic reference plus static and parallel(1,2,8) candidates, requiring
+// dynamic reference plus static and parallel(1,2,8) candidates — and then
+// again with dynamic/static/parallel(2) at optimizer level 2 — requiring
 // bit-identical transfers, state digests, and statistics.  Carries the
 // `fuzz` CTest label so it can be targeted (or excluded) with `ctest -L
 // fuzz` / `ctest -LE fuzz`.
@@ -12,16 +13,29 @@
 
 namespace {
 
+using liberty::core::SchedulerKind;
+using liberty::testing::Candidate;
+
 TEST(FuzzStress, FiveHundredSeedsZeroDivergence) {
   liberty::core::ModuleRegistry registry;
   liberty::pcl::register_pcl(registry);
   liberty::ccl::register_ccl(registry);
   const liberty::testing::FuzzConfig cfg;
+  liberty::testing::OracleConfig oracle;
+  oracle.candidates = {
+      Candidate{SchedulerKind::Static, 0},
+      Candidate{SchedulerKind::Parallel, 1},
+      Candidate{SchedulerKind::Parallel, 2},
+      Candidate{SchedulerKind::Parallel, 8},
+      Candidate{SchedulerKind::Dynamic, 0, /*opt_level=*/2},
+      Candidate{SchedulerKind::Static, 0, /*opt_level=*/2},
+      Candidate{SchedulerKind::Parallel, 2, /*opt_level=*/2},
+  };
   for (std::uint64_t seed = 1; seed <= 500; ++seed) {
     const liberty::testing::NetSpec spec =
         liberty::testing::generate_netlist(seed, cfg);
     const liberty::testing::OracleResult r =
-        liberty::testing::run_oracle(spec, registry);
+        liberty::testing::run_oracle(spec, registry, oracle);
     ASSERT_TRUE(r.ok) << "seed " << seed << "\n"
                       << r.report() << spec.render();
   }

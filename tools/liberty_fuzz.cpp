@@ -52,6 +52,8 @@ constexpr const char* kUsage = R"(usage: liberty_fuzz [options]
   --no-mux            exclude pcl.mux
   --no-buffer         exclude pcl.buffer
   --no-ccl            exclude ccl.traffic_gen / ccl.traffic_sink
+  --opt-level N       also run each candidate scheduler at optimizer level
+                      N (default 2; 0 disables the optimized candidates)
   --print-spec        print each generated netlist before running it
   --shrink            on failure, shrink to a minimal reproducer
   --no-bisect         skip snapshot/restore bisection on divergence
@@ -74,6 +76,7 @@ struct Options {
   std::string profile_path;
   std::string metrics_path;
   std::uint64_t heartbeat = 0;
+  int opt_level = 2;
   bool print_spec = false;
   bool shrink = false;
   bool fault_installed = false;
@@ -161,6 +164,11 @@ int parse_args(int argc, char** argv, Options& opt) {
       opt.fuzz.use_buffer = false;
     } else if (a == "--no-ccl") {
       opt.fuzz.use_ccl_traffic = false;
+    } else if (a == "--opt-level") {
+      std::uint64_t level = 0;
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, level) || level > 2) return 2;
+      opt.opt_level = static_cast<int>(level);
     } else if (a == "--print-spec") {
       opt.print_spec = true;
     } else if (a == "--shrink") {
@@ -244,6 +252,32 @@ int main(int argc, char** argv) {
   liberty::core::ModuleRegistry registry;
   liberty::pcl::register_pcl(registry);
   liberty::ccl::register_ccl(registry);
+
+  // Candidate battery: every scheduler unoptimized, then again at
+  // --opt-level so each fuzzed netlist also proves the elaboration-time
+  // optimizer sound (bit-identical transfers, digests, and stats).  The
+  // --inject-fault self-test stays unoptimized: it corrupts one channel
+  // resolution, which a pre-resolved constant on that channel would mask.
+  {
+    using liberty::core::SchedulerKind;
+    using liberty::testing::Candidate;
+    opt.oracle.candidates = {
+        Candidate{SchedulerKind::Static, 0},
+        Candidate{SchedulerKind::Parallel, 1},
+        Candidate{SchedulerKind::Parallel, 2},
+        Candidate{SchedulerKind::Parallel, 8},
+    };
+    if (opt.opt_level > 0 && !opt.fault_installed) {
+      opt.oracle.candidates.push_back(
+          Candidate{SchedulerKind::Dynamic, 0, opt.opt_level});
+      opt.oracle.candidates.push_back(
+          Candidate{SchedulerKind::Static, 0, opt.opt_level});
+      opt.oracle.candidates.push_back(
+          Candidate{SchedulerKind::Parallel, 2, opt.opt_level});
+      opt.oracle.candidates.push_back(
+          Candidate{SchedulerKind::Parallel, 8, opt.opt_level});
+    }
+  }
 
   std::uint64_t failures = 0;
   for (std::uint64_t s = opt.seed; s < opt.seed + opt.count; ++s) {
