@@ -15,10 +15,23 @@
 //     --profile FILE      write a Chrome trace-event JSON profile
 //                         (load in Perfetto / chrome://tracing)
 //     --metrics FILE      write the liberty.metrics JSON dump (module
-//                         stats + scheduler counters + profile)
+//                         stats + scheduler counters + profile + watchdog)
 //     --metrics-csv FILE  same metrics as flat CSV
 //     --heartbeat N       print a progress line every N cycles
 //     --quiet             suppress the statistics dump
+//
+// Resilience (docs/resilience.md):
+//     --faults FILE       inject a liberty.faultplan JSON plan
+//     --watchdog          run the invariant watchdog; with --faults a
+//                         fault-free twin run records the divergence
+//                         baseline first.  Violations exit 1.
+//     --max-iters N       fixed-point iteration cap (combinational-loop
+//                         guard); 0 keeps the scheduler default
+//     --checkpoint-every N  snapshot interval for --recover        [64]
+//     --recover POLICY    supervise with abort|rollback|quarantine
+//                         recovery (ignores --vcd/--profile)
+//     --digest            print trace + state digests for bit-exactness
+//                         comparisons
 //
 // Options also accept --flag=value spelling.
 //
@@ -45,6 +58,10 @@
 #include "liberty/obs/trace.hpp"
 #include "liberty/opt/optimizer.hpp"
 #include "liberty/pcl/pcl.hpp"
+#include "liberty/resil/fault_plan.hpp"
+#include "liberty/resil/injector.hpp"
+#include "liberty/resil/recovery.hpp"
+#include "liberty/resil/watchdog.hpp"
 #include "liberty/upl/upl.hpp"
 
 namespace {
@@ -77,7 +94,9 @@ int usage(const char* argv0) {
                "       [--opt-level N] [--opt-report]\n"
                "       [--dot FILE] [--vcd FILE] [--profile FILE]\n"
                "       [--metrics FILE] [--metrics-csv FILE]\n"
-               "       [--heartbeat N] [--quiet]\n",
+               "       [--heartbeat N] [--quiet]\n"
+               "       [--faults FILE] [--watchdog] [--max-iters N]\n"
+               "       [--checkpoint-every N] [--recover POLICY] [--digest]\n",
                argv0);
   return 2;
 }
@@ -100,6 +119,12 @@ int main(int argc, char** argv) {
   int opt_level = 2;
   bool opt_report = false;
   bool quiet = false;
+  std::string faults_path;
+  bool want_watchdog = false;
+  std::uint64_t max_iters = 0;
+  std::uint64_t checkpoint_every = 64;
+  std::string recover_policy;
+  bool want_digest = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -156,6 +181,18 @@ int main(int argc, char** argv) {
       heartbeat = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--faults") {
+      faults_path = next();
+    } else if (arg == "--watchdog") {
+      want_watchdog = true;
+    } else if (arg == "--max-iters") {
+      max_iters = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--recover") {
+      recover_policy = next();
+    } else if (arg == "--digest") {
+      want_digest = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -194,7 +231,98 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // Resilience wiring.  The injector must outlive the simulator (the
+    // scheduler's destructor clears the per-connection hooks).
+    std::unique_ptr<liberty::resil::FaultInjector> injector;
+    if (!faults_path.empty()) {
+      injector = std::make_unique<liberty::resil::FaultInjector>(
+          liberty::resil::FaultPlan::load(faults_path));
+    }
+    liberty::resil::Watchdog watchdog;
+
+    // Divergence detection needs a fault-free reference trace.  LSS
+    // elaboration is pure, so a twin elaborated from the same spec at the
+    // same -O level transfers identically — record its per-cycle baseline
+    // before the faulted run starts.
+    if (want_watchdog && injector != nullptr) {
+      liberty::core::Netlist twin;
+      liberty::core::lss::Elaborator(registry).elaborate(spec, twin,
+                                                         overrides);
+      twin.finalize();
+      liberty::opt::optimize(twin,
+                             liberty::opt::OptOptions::for_level(opt_level));
+      liberty::core::Simulator ref(twin,
+                                   liberty::core::SchedulerKind::Static, 0);
+      liberty::resil::Watchdog rec;
+      rec.record_baseline();
+      rec.attach(ref);
+      ref.run(cycles);
+      watchdog.set_baseline(rec.take_baseline());
+    }
+
+    if (!recover_policy.empty()) {
+      // Supervised run: the Supervisor owns the simulator and the
+      // simulate-detect-recover loop (docs/resilience.md).
+      liberty::resil::SupervisorConfig scfg;
+      scfg.scheduler = kind;
+      scfg.threads = threads;
+      scfg.checkpoint_every = checkpoint_every;
+      scfg.policy = liberty::resil::policy_from_name(recover_policy);
+      scfg.iteration_cap = max_iters;
+      liberty::resil::Supervisor sup(netlist, scfg, injector.get(),
+                                     want_watchdog ? &watchdog : nullptr);
+      const liberty::resil::RecoveryReport rep = sup.run(cycles);
+      for (const std::string& ev : rep.events) {
+        std::fprintf(stderr, "recovery: %s\n", ev.c_str());
+      }
+      if (want_watchdog) {
+        for (const auto& d : watchdog.diagnostics()) {
+          std::fprintf(stderr, "watchdog: %s\n", d.format().c_str());
+        }
+      }
+      std::printf("%s\n", rep.summary().c_str());
+      if (want_digest) {
+        std::printf("digest: trace=%016llx state=%016llx cycles=%llu\n",
+                    static_cast<unsigned long long>(rep.trace_digest()),
+                    static_cast<unsigned long long>(rep.state_digest),
+                    static_cast<unsigned long long>(rep.cycles));
+      }
+      if (!metrics_path.empty() || !metrics_csv_path.empty()) {
+        liberty::obs::MetricsRegistry reg;
+        reg.collect_modules(netlist);
+        if (sup.simulator() != nullptr) {
+          reg.collect_scheduler(sup.simulator()->scheduler());
+        }
+        if (want_watchdog) watchdog.export_metrics(reg);
+        liberty::obs::RunMeta meta;
+        meta.tool = "lss_run";
+        meta.spec = spec_path;
+        if (sup.simulator() != nullptr) {
+          meta.scheduler =
+              std::string(sup.simulator()->scheduler().kind_name());
+        }
+        meta.threads = threads;
+        meta.cycles = rep.cycles;
+        meta.git_rev = liberty::obs::current_git_rev();
+        if (!metrics_path.empty()) {
+          std::ofstream mf(metrics_path);
+          reg.write_json(mf, meta);
+        }
+        if (!metrics_csv_path.empty()) {
+          std::ofstream mf(metrics_csv_path);
+          reg.write_csv(mf, meta);
+        }
+      }
+      if (!rep.completed) {
+        std::fprintf(stderr, "error: %s\n", rep.error.c_str());
+        return 1;
+      }
+      return 0;
+    }
+
     liberty::core::Simulator sim(netlist, kind, threads);
+    if (max_iters > 0) sim.scheduler().set_iteration_cap(max_iters);
+    if (injector != nullptr) injector->install(sim);
     std::unique_ptr<liberty::core::VcdTracer> tracer;
     std::ofstream vcd_file;
     if (!vcd_path.empty()) {
@@ -217,30 +345,73 @@ int main(int argc, char** argv) {
       trace->attach_transfers(sim);
       profiler.set_sink(trace.get());
     }
-    if (want_profile) sim.set_probe(&profiler);
+    // Probe chain on the kernel's single slot: watchdog -> trace recorder
+    // -> profiler (the watchdog reports before forwarding, the recorder
+    // hashes each resolved cycle for --digest).
+    liberty::core::KernelProbe* chain = nullptr;
+    if (want_profile) chain = &profiler;
+    std::unique_ptr<liberty::resil::TraceRecorder> recorder;
+    if (want_digest) {
+      recorder = std::make_unique<liberty::resil::TraceRecorder>(netlist);
+      recorder->set_next(chain);
+      chain = recorder.get();
+    }
+    if (want_watchdog) {
+      watchdog.set_next(chain);
+      watchdog.attach(sim);
+    } else if (chain != nullptr) {
+      sim.set_probe(chain);
+    }
 
     std::uint64_t ran = 0;
-    if (heartbeat == 0) {
-      ran = sim.run(cycles);
-    } else {
-      while (ran < cycles) {
-        const std::uint64_t chunk = std::min(heartbeat, cycles - ran);
-        const auto step = sim.run(chunk);
-        ran += step;
-        std::fprintf(stderr, "heartbeat: cycle %llu/%llu\n",
-                     static_cast<unsigned long long>(ran),
-                     static_cast<unsigned long long>(cycles));
-        if (step < chunk) break;  // a module requested a stop
+    std::string sim_error;
+    try {
+      if (heartbeat == 0) {
+        ran = sim.run(cycles);
+      } else {
+        while (ran < cycles) {
+          const std::uint64_t chunk = std::min(heartbeat, cycles - ran);
+          const auto step = sim.run(chunk);
+          ran += step;
+          std::fprintf(stderr, "heartbeat: cycle %llu/%llu\n",
+                       static_cast<unsigned long long>(ran),
+                       static_cast<unsigned long long>(cycles));
+          if (step < chunk) break;  // a module requested a stop
+        }
       }
+    } catch (const liberty::Error& e) {
+      // After a throwing cycle, now() already advanced past the aborted
+      // cycle — the last *completed* cycle is now() - 1.
+      sim_error = e.what();
+      ran = sim.now() > 0 ? sim.now() - 1 : 0;
+      if (want_watchdog) watchdog.note_kernel_error(sim_error, ran);
     }
     if (tracer) tracer->finish();
     if (trace) trace->finish();
+
+    if (want_watchdog) {
+      for (const auto& d : watchdog.diagnostics()) {
+        std::fprintf(stderr, "watchdog: %s\n", d.format().c_str());
+      }
+      std::fprintf(stderr, "watchdog: %llu violation(s) over %llu cycle(s)\n",
+                   static_cast<unsigned long long>(watchdog.violation_count()),
+                   static_cast<unsigned long long>(watchdog.cycles_checked()));
+    }
+    if (want_digest) {
+      const std::uint64_t trace_digest =
+          liberty::resil::fold_trace(recorder->hashes());
+      std::printf("digest: trace=%016llx state=%016llx cycles=%llu\n",
+                  static_cast<unsigned long long>(trace_digest),
+                  static_cast<unsigned long long>(sim.snapshot().digest()),
+                  static_cast<unsigned long long>(ran));
+    }
 
     if (!metrics_path.empty() || !metrics_csv_path.empty()) {
       liberty::obs::MetricsRegistry reg;
       reg.collect_modules(netlist);
       reg.collect_scheduler(sim.scheduler());
       reg.collect_profile(profiler, &netlist);
+      if (want_watchdog) watchdog.export_metrics(reg);
       liberty::obs::RunMeta meta;
       meta.tool = "lss_run";
       meta.spec = spec_path;
@@ -263,7 +434,11 @@ int main(int argc, char** argv) {
                 netlist.connection_count(),
                 static_cast<unsigned long long>(ran));
     if (!quiet) netlist.dump_stats(std::cout);
-    return 0;
+    if (!sim_error.empty()) {
+      std::fprintf(stderr, "error: %s\n", sim_error.c_str());
+      return 1;
+    }
+    return want_watchdog && watchdog.violation_count() > 0 ? 1 : 0;
   } catch (const liberty::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -71,6 +71,39 @@ for spec in examples/specs/*.lss; do
 done
 echo "optimizer stats identical on $(ls examples/specs/*.lss | wc -l) specs"
 
+# Resilience smoke: inject -> detect -> roll back -> finish bit-identical
+# (docs/resilience.md).  A drop_ack fault on the funnel's sink feed must be
+# flagged by the watchdog (exit 1), and the rollback supervisor must mask
+# it and finish with the exact fault-free trace and state digests.
+echo "=== resilience smoke ==="
+cat >"$smoke_dir/faults.json" <<'JSON'
+{"schema":"liberty.faultplan","version":1,"seed":7,"faults":[
+ {"class":"drop_ack","connection":13,"from_cycle":60}
+]}
+JSON
+./build/examples/lss_run examples/specs/funnel.lss --cycles 200 \
+  --digest --quiet >"$smoke_dir/clean.out"
+clean_digest="$(grep '^digest:' "$smoke_dir/clean.out")"
+if ./build/examples/lss_run examples/specs/funnel.lss --cycles 200 \
+  --faults "$smoke_dir/faults.json" --watchdog --quiet \
+  >"$smoke_dir/detect.out" 2>&1; then
+  echo "watchdog failed to flag the injected fault" >&2
+  exit 1
+fi
+grep -q 'protocol: kernel-owned ack disagrees' "$smoke_dir/detect.out"
+./build/examples/lss_run examples/specs/funnel.lss --cycles 200 \
+  --faults "$smoke_dir/faults.json" --watchdog --recover rollback \
+  --checkpoint-every 32 --digest --quiet >"$smoke_dir/recover.out" 2>&1
+grep -q 'rollback to checkpoint' "$smoke_dir/recover.out"
+recovered_digest="$(grep '^digest:' "$smoke_dir/recover.out")"
+if [ "$clean_digest" != "$recovered_digest" ]; then
+  echo "rollback recovery diverged from the fault-free run:" >&2
+  echo "  clean:     $clean_digest" >&2
+  echo "  recovered: $recovered_digest" >&2
+  exit 1
+fi
+echo "resilience smoke ok: detected, rolled back, $recovered_digest"
+
 echo "=== release tests ==="
 if [ "$quick" -eq 1 ]; then
   ctest --test-dir build --output-on-failure -j "$jobs" -LE fuzz

@@ -48,6 +48,7 @@
 
 namespace liberty::core {
 
+class FaultHook;
 class Module;
 class Netlist;
 class Connection;
@@ -173,7 +174,34 @@ class Connection {
   friend class Netlist;
   friend class SchedulerBase;
 
+  // Both resolve paths dispatch through the fault seam first: an installed
+  // FaultHook (liberty/core/fault.hpp) may rewrite the signal/value about
+  // to be applied.  Interception happens *before* the idempotence compare,
+  // so re-drives of an already-mapped channel map identically and still
+  // count as idempotent.  The faulted variants live out of line
+  // (kernel/fault.cpp) to keep this hot path call-free when no hook is
+  // installed.
+
   void resolve_forward(Tristate enable, const Value& v) {
+    if (fault_ != nullptr) {
+      resolve_forward_faulted(enable, v);
+      return;
+    }
+    resolve_forward_impl(enable, v);
+  }
+
+  void resolve_backward(Tristate intent) {
+    if (fault_ != nullptr) {
+      resolve_backward_faulted(intent);
+      return;
+    }
+    resolve_backward_impl(intent);
+  }
+
+  void resolve_forward_faulted(Tristate enable, const Value& v);
+  void resolve_backward_faulted(Tristate intent);
+
+  void resolve_forward_impl(Tristate enable, const Value& v) {
     if (forward_known()) {
       if (enable_.load(std::memory_order_relaxed) == enable && data_ == v) {
         return;  // idempotent re-drive
@@ -194,7 +222,7 @@ class Connection {
     }
   }
 
-  void resolve_backward(Tristate intent) {
+  void resolve_backward_impl(Tristate intent) {
     const Tristate prev = intent_.load(std::memory_order_relaxed);
     if (known(prev)) {
       if (prev == intent) return;  // idempotent re-drive
@@ -245,6 +273,7 @@ class Connection {
     defaulted_.fetch_add(1, std::memory_order_relaxed);
   }
   void set_hooks(ResolveHooks* h) noexcept { hooks_ = h; }
+  void set_fault_hook(FaultHook* h) noexcept { fault_ = h; }
 
   ConnId id_;
   Module* producer_;
@@ -254,6 +283,7 @@ class Connection {
   AckMode ack_mode_ = AckMode::AutoAccept;
   TransferGate gate_;
   ResolveHooks* hooks_ = nullptr;
+  FaultHook* fault_ = nullptr;
 
   std::atomic<Tristate> enable_{Tristate::Unknown};
   std::atomic<Tristate> ack_{Tristate::Unknown};

@@ -94,6 +94,21 @@ class Netlist {
   /// "interactive system visualizer" would consume).
   void write_dot(std::ostream& os) const;
 
+  /// Quarantine a module (resil recovery): its handlers are never invoked
+  /// again and every one of its Managed input connections falls back to the
+  /// paper's default control semantics (AutoAccept — the kernel accepts
+  /// everything offered); its output offers default to "offers nothing".
+  /// Schedulers cache quarantine flags at construction, so this must be
+  /// followed by a simulator rebuild — and any optimizer plan derived from
+  /// the module's declared behaviour must be dropped first (quarantine
+  /// invalidates constprop/fusion/gating facts about this module).  See
+  /// docs/resilience.md for when this policy is unsound.
+  void quarantine(Module& m);
+  [[nodiscard]] bool is_quarantined(ModuleId id) const noexcept {
+    return id < quarantined_.size() && quarantined_[id] != 0;
+  }
+  [[nodiscard]] std::size_t quarantined_count() const noexcept;
+
   /// Attach (or clear, with nullptr) the optimizer's plan.  Must be done
   /// before any scheduler is constructed; schedulers capture the plan at
   /// construction.  Null plan == simulate the netlist exactly as written.
@@ -112,6 +127,7 @@ class Netlist {
   std::vector<std::unique_ptr<Module>> modules_;
   std::unordered_map<std::string, Module*> by_name_;
   std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<char> quarantined_;  // by ModuleId; empty until first use
   std::shared_ptr<const OptPlan> opt_plan_;
 };
 

@@ -55,6 +55,13 @@ class KernelProbe {
   virtual void on_cycle_begin(Cycle) {}
   virtual void on_cycle_end(Cycle) {}
 
+  /// Every channel of every connection has resolved for this cycle, but no
+  /// end_of_cycle handler has run and no transfer has been committed yet.
+  /// This is the invariant-checking window (resil::Watchdog): a probe that
+  /// throws here aborts the cycle *before* any module commits state, so a
+  /// rollback to an earlier checkpoint replays a fault-free trajectory.
+  virtual void on_cycle_resolved(Cycle) {}
+
   /// Phase completed; `seconds` is its wall-clock duration.  Called at the
   /// end of the phase, so an exporter can reconstruct the start time.
   virtual void on_phase(SchedPhase, Cycle, double /*seconds*/) {}

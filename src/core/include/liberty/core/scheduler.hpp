@@ -265,25 +265,15 @@ class QuiescenceGate {
   std::uint64_t eoc_skips_ = 0;
 };
 
-// ---- Test-only scheduler fault injection ----------------------------------
-//
-// The differential oracle in liberty_testing proves the three schedulers
-// bit-identical; this hook exists so tests can prove the oracle itself
-// works.  While installed, the named scheduler kind mis-drives the kernel's
-// default-control ack on one connection — from `from_cycle` on, the
-// AutoAccept drive on connection `connection` refuses instead of accepting,
-// a deterministic semantic bug invisible to the kernel's own audits.
-// Production code must never call these; they are not thread-safe against
-// concurrently *constructed* schedulers (install before running, clear
-// after).
-struct SchedulerFault {
-  std::string scheduler_kind;  // kind_name() of the afflicted scheduler
-  Cycle from_cycle = 0;        // first afflicted cycle
-  ConnId connection = 0;       // afflicted connection id
-};
+class FaultHook;
 
-void install_scheduler_fault_for_testing(SchedulerFault fault);
-void clear_scheduler_fault_for_testing();
+/// Fixed-point iteration guard: an SCC (static/parallel) or worklist
+/// (dynamic) that exceeds this many passes in one cycle is reported as a
+/// non-converging combinational loop instead of spinning.  Monotone channel
+/// resolution structurally bounds genuine work well below this, so the
+/// default never fires on a correct netlist; front ends lower it via
+/// SchedulerBase::set_iteration_cap (lss_run --max-iters).
+inline constexpr std::uint64_t kDefaultIterationCap = 1'000'000;
 
 class SchedulerBase : public ResolveHooks {
  public:
@@ -313,6 +303,28 @@ class SchedulerBase : public ResolveHooks {
   /// probe installed all instrumentation reduces to null/flag checks.
   void set_probe(KernelProbe* probe) noexcept { probe_ = probe; }
   [[nodiscard]] KernelProbe* probe() const noexcept { return probe_; }
+
+  /// Install (or clear, with nullptr) the deterministic fault-injection
+  /// hook on every connection of this netlist (liberty/core/fault.hpp;
+  /// liberty::resil::FaultInjector is the implementation).  Must be called
+  /// between cycles; the kernel never takes ownership.
+  void set_fault_hook(FaultHook* hook);
+  [[nodiscard]] FaultHook* fault_hook() const noexcept { return fault_; }
+
+  /// Cap fixed-point passes per cycle (0 = unlimited); exceeding it throws
+  /// SimulationError naming the oscillating channel set.  The cap is a
+  /// per-scheduler work measure, not part of the bit-identical semantics.
+  void set_iteration_cap(std::uint64_t cap) noexcept { iter_cap_ = cap; }
+  [[nodiscard]] std::uint64_t iteration_cap() const noexcept {
+    return iter_cap_;
+  }
+
+  /// Reset mid-cycle kernel state after run_cycle aborted with an exception
+  /// (watchdog violation, injected handler fault, non-convergence): wipes
+  /// every channel, re-arms fused-chain sweep stamps, and drops the
+  /// quiescence-gate caches.  Simulator::restore calls this unconditionally
+  /// — between cycles it is a harmless no-op re-initialization.
+  void recover_after_abort() noexcept;
 
   /// Visit every introspection counter of this scheduler, base counters
   /// first, then subclass-specific ones.  Counter names are stable,
@@ -371,7 +383,8 @@ class SchedulerBase : public ResolveHooks {
     if (c.transferred()) ctx.transferred.push_back(&c);
   }
 
-  static void call_react(Module& m) {
+  void call_react(Module& m) {
+    if (any_quarantined_ && quarantined_[m.id()] != 0) return;
     detail::ResolveCtx& ctx = detail::t_resolve_ctx;
     ++ctx.reacts;
     if (ctx.timing) {
@@ -380,14 +393,20 @@ class SchedulerBase : public ResolveHooks {
       m.react();
     }
   }
+
+  /// Quarantined module (Netlist::quarantine): its handlers never run; its
+  /// channels fall to kernel defaults / AutoAccept control.  Flags are
+  /// cached at construction — quarantining requires a simulator rebuild.
+  [[nodiscard]] bool module_quarantined(ModuleId id) const noexcept {
+    return any_quarantined_ && quarantined_[id] != 0;
+  }
   /// Resolve an undriven forward channel to "offers nothing".
   static void default_forward(Connection& c);
   /// Resolve an undriven managed backward channel to "refuses".  Skipped
   /// when a gated intent is still pending (it resolves with its forward).
   static void default_backward(Connection& c);
   /// Kernel drive for an AutoAccept backward channel whose forward is
-  /// known.  This is the site the test-only scheduler fault (see
-  /// install_scheduler_fault_for_testing) corrupts.
+  /// known.
   static void apply_auto_accept(Connection& c);
 
   void install_hooks(ResolveHooks* h);
@@ -443,6 +462,12 @@ class SchedulerBase : public ResolveHooks {
   Netlist& netlist_;
   std::vector<TransferObserver> observers_;
   KernelProbe* probe_ = nullptr;
+  FaultHook* fault_ = nullptr;
+  std::uint64_t iter_cap_ = kDefaultIterationCap;
+  // Quarantine flags cached from the netlist at construction (dense array:
+  // checked inside call_react on the hot path).
+  std::vector<char> quarantined_;
+  bool any_quarantined_ = false;
   Cycle cycle_ = 0;  // cycle currently executing (valid inside run_cycle)
   std::uint64_t react_calls_ = 0;
   std::uint64_t defaults_ = 0;
@@ -499,6 +524,7 @@ class DynamicScheduler final : public SchedulerBase {
   void drain();
 
   std::vector<Module*> woken_scratch_;  // gate wake-ups pending enqueue
+  std::uint64_t cycle_pops_ = 0;  // worklist pops this cycle (iteration cap)
   std::vector<Module*> ring_;  // power-of-two capacity ring buffer
   std::size_t mask_ = 0;
   std::size_t head_ = 0;
@@ -549,6 +575,10 @@ class AnalyzedScheduler : public SchedulerBase {
   void execute_node(ChannelId id);
   void run_scc(std::size_t scc_index);
   void cleanup_unresolved();
+  /// Iteration cap exceeded in run_scc: report the SCC's channel chain as a
+  /// non-converging combinational loop.
+  [[noreturn]] void throw_nonconvergence(std::size_t scc_index,
+                                         std::uint64_t passes) const;
 
   ScheduleGraph graph_;
   // Precomputed per-SCC execution state (replaces per-cycle driver

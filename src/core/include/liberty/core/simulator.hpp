@@ -113,6 +113,13 @@ class Simulator {
   /// schedulers stay bit-identical with profiling enabled.
   void set_probe(KernelProbe* probe) noexcept { sched_->set_probe(probe); }
 
+  /// Install (or clear, with nullptr) the deterministic fault-injection
+  /// hook on the underlying scheduler (liberty/core/fault.hpp; implemented
+  /// by liberty::resil::FaultInjector).  Unlike probes, fault hooks perturb
+  /// the simulation — that is their purpose — but identically under every
+  /// scheduler and optimization level.
+  void set_fault_hook(FaultHook* hook) { sched_->set_fault_hook(hook); }
+
   /// Log every transfer to `os` (a minimal textual waveform for debugging
   /// and for the visualizer integration the paper anticipates).
   void trace_transfers(std::ostream& os);

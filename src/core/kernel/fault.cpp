@@ -1,0 +1,21 @@
+// Out-of-line fault-seam slow paths (see liberty/core/fault.hpp).  Kept out
+// of connection.hpp so the unfaulted inline resolve paths stay call-free.
+#include "liberty/core/connection.hpp"
+#include "liberty/core/fault.hpp"
+
+namespace liberty::core {
+
+void Connection::resolve_forward_faulted(Tristate enable, const Value& v) {
+  Tristate mapped_enable = enable;
+  Value mapped_value = v;
+  fault_->filter_forward(*this, mapped_enable, mapped_value);
+  resolve_forward_impl(mapped_enable, mapped_value);
+}
+
+void Connection::resolve_backward_faulted(Tristate intent) {
+  Tristate mapped_intent = intent;
+  fault_->filter_backward(*this, mapped_intent);
+  resolve_backward_impl(mapped_intent);
+}
+
+}  // namespace liberty::core

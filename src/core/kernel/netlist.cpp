@@ -110,6 +110,30 @@ void Netlist::finalize() {
   for (const auto& m : modules_) m->init();
 }
 
+void Netlist::quarantine(Module& m) {
+  if (!finalized_) {
+    throw liberty::ElaborationError(
+        "quarantine requires a finalized netlist");
+  }
+  if (quarantined_.size() < modules_.size()) {
+    quarantined_.resize(modules_.size(), 0);
+  }
+  quarantined_[m.id()] = 1;
+  // With the module's own control logic out of the picture, its inputs run
+  // under the paper's default control semantics: the kernel accepts every
+  // offer.  (Output forwards need no mode change — undriven forwards
+  // default to "offers nothing".)
+  for (const auto& c : conns_) {
+    if (c->consumer() == &m) c->set_ack_mode(AckMode::AutoAccept);
+  }
+}
+
+std::size_t Netlist::quarantined_count() const noexcept {
+  std::size_t n = 0;
+  for (const char q : quarantined_) n += (q != 0) ? 1 : 0;
+  return n;
+}
+
 void Netlist::dump_stats(std::ostream& os) const {
   for (const auto& m : modules_) {
     m->stats().dump(os, m->name());

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <string>
 #include <utility>
 
+#include "liberty/core/fault.hpp"
 #include "liberty/support/error.hpp"
 
 namespace liberty::core {
@@ -32,30 +34,6 @@ namespace {
   return std::chrono::duration<double>(b - a).count();
 }
 }  // namespace
-
-// ---------------------------------------------------------------------------
-// Test-only fault injection
-// ---------------------------------------------------------------------------
-//
-// The spec is written only while no scheduler is running; the live flag is
-// atomic because apply_auto_accept runs on parallel worker threads.
-
-namespace {
-SchedulerFault g_fault;
-bool g_fault_installed = false;
-std::atomic<bool> g_fault_live{false};
-}  // namespace
-
-void install_scheduler_fault_for_testing(SchedulerFault fault) {
-  g_fault = std::move(fault);
-  g_fault_installed = true;
-  g_fault_live.store(false, std::memory_order_relaxed);
-}
-
-void clear_scheduler_fault_for_testing() {
-  g_fault_installed = false;
-  g_fault_live.store(false, std::memory_order_relaxed);
-}
 
 // ---------------------------------------------------------------------------
 // ScheduleGraph
@@ -601,10 +579,42 @@ SchedulerBase::SchedulerBase(Netlist& netlist) : netlist_(netlist) {
   for (const auto& c : netlist.connections()) conn_tape_.push_back(c.get());
   plan_ = netlist.opt_plan();
   if (plan_ != nullptr) chain_state_.resize(plan_->chains.size());
+  quarantined_.assign(netlist.module_count(), 0);
+  for (const Module* m : module_tape_) {
+    if (netlist.is_quarantined(m->id())) {
+      quarantined_[m->id()] = 1;
+      any_quarantined_ = true;
+    }
+  }
   install_hooks(this);
 }
 
-SchedulerBase::~SchedulerBase() { install_hooks(nullptr); }
+SchedulerBase::~SchedulerBase() {
+  install_hooks(nullptr);
+  // Fault hooks are per-scheduler installations; never leave a dangling
+  // injector pointer behind for the next scheduler built on this netlist.
+  if (fault_ != nullptr) set_fault_hook(nullptr);
+}
+
+void SchedulerBase::set_fault_hook(FaultHook* hook) {
+  fault_ = hook;
+  for (Connection* c : conn_tape_) c->set_fault_hook(hook);
+}
+
+void SchedulerBase::recover_after_abort() noexcept {
+  for (Connection* c : conn_tape_) c->reset_channels();
+  // A cycle aborted mid-resolve leaves fused-chain stamps holding the
+  // aborted cycle's token (cycles_run_ was never bumped), which would
+  // silently skip the sweeps on retry; zero is never a valid token.
+  for (ChainState& st : chain_state_) {
+    st.fwd_stamp = 0;
+    st.bwd_stamp = 0;
+  }
+  gate_.invalidate();
+  cycle_transferred_.clear();
+  cycle_resolutions_ = 0;
+  detail::t_resolve_ctx.transferred.clear();
+}
 
 void SchedulerBase::install_hooks(ResolveHooks* h) {
   for (const auto& c : netlist_.connections()) c->set_hooks(h);
@@ -633,12 +643,6 @@ void SchedulerBase::default_backward(Connection& c) {
 
 void SchedulerBase::apply_auto_accept(Connection& c) {
   if (c.ack_known() || known(c.intent_.load(std::memory_order_relaxed))) {
-    return;
-  }
-  if (g_fault_live.load(std::memory_order_relaxed) &&
-      c.id() == g_fault.connection) {
-    // Injected bug: the default-control drive refuses what it should accept.
-    c.nack();
     return;
   }
   if (c.enabled()) {
@@ -678,6 +682,10 @@ void SchedulerBase::run_chain(std::size_t idx) {
   const OptPlan::Chain& ch = plan_->chains[idx];
   ChainState& st = chain_state_[idx];
   const std::uint64_t token = cycles_run_ + 1;
+  // Under fault injection a drive may land rewritten, so the sweep must
+  // propagate what actually resolved on each link (what an unfused member
+  // would observe), not its local pre-mapping copy.
+  const bool faulted = fault_ != nullptr;
   if (st.fwd_stamp != token && ch.links.front()->forward_known()) {
     // One pass down the chain resolves every member's output.  A link that
     // is already resolved (constant, quiescence replay, or a member react
@@ -699,6 +707,10 @@ void SchedulerBase::run_chain(std::size_t idx) {
       } else {
         out->idle();
       }
+      if (faulted) {
+        en = out->enabled();
+        v = en ? out->data() : Value();
+      }
     }
     st.fwd_stamp = token;
     ++st.fwd_sweeps;
@@ -718,6 +730,7 @@ void SchedulerBase::run_chain(std::size_t idx) {
       } else {
         in->nack();
       }
+      if (faulted) a = in->acked();
     }
     st.bwd_stamp = token;
     ++st.bwd_sweeps;
@@ -790,12 +803,11 @@ void SchedulerBase::verify_resolved(Cycle cycle) const {
 }
 
 void SchedulerBase::run_cycle(Cycle cycle) {
-  if (g_fault_installed) {
-    g_fault_live.store(kind_name() == g_fault.scheduler_kind &&
-                           cycle >= g_fault.from_cycle,
-                       std::memory_order_relaxed);
-  }
   cycle_ = cycle;
+  // Fault seam, before any phase: channels are clean and no handler has
+  // run, so a throwing hook (injected handler fault) aborts at a
+  // scheduler-invariant, recovery-friendly point.
+  if (fault_ != nullptr) fault_->begin_cycle(cycle);
   detail::ResolveCtx& ctx = detail::t_resolve_ctx;
   const std::uint64_t r0 = ctx.resolutions;
   const std::uint64_t k0 = ctx.reacts;
@@ -830,6 +842,7 @@ void SchedulerBase::run_cycle(Cycle cycle) {
 
   for (Module* m : module_tape_) {
     m->now_ = cycle;
+    if (any_quarantined_ && quarantined_[m->id()] != 0) continue;
     if (opt && (plan_->elided[m->id()] != 0 ||
                 gate_.module_asleep(m->id()))) {
       continue;  // elided: dead logic; asleep: deferred (or replayed) start
@@ -851,7 +864,13 @@ void SchedulerBase::run_cycle(Cycle cycle) {
   }
 
   verify_resolved(cycle);
-  if (probe != nullptr) end_phase(SchedPhase::Resolve);
+  // Invariant window: everything resolved, nothing committed.  A probe
+  // (resil::Watchdog) that throws here aborts the cycle with module state
+  // still untouched by it — the rollback-soundness anchor.
+  if (probe != nullptr) {
+    probe->on_cycle_resolved(cycle);
+    end_phase(SchedPhase::Resolve);
+  }
 
   // Transfers force end_of_cycle on their endpoint modules even when
   // asleep: a transfer commits state wherever it lands.  The dirty list is
@@ -859,6 +878,7 @@ void SchedulerBase::run_cycle(Cycle cycle) {
   const std::uint64_t eoc_token = cycles_run_ + 1;
   if (opt) gate_.mark_transfers(cycle_transferred_, eoc_token);
   for (Module* m : module_tape_) {
+    if (any_quarantined_ && quarantined_[m->id()] != 0) continue;
     if (opt && (plan_->elided[m->id()] != 0 ||
                 gate_.skip_end_of_cycle(*m, eoc_token))) {
       continue;
@@ -929,6 +949,7 @@ void DynamicScheduler::enqueue(Module* m) {
         ") is unknown to this scheduler; the netlist grew after scheduler "
         "construction — rebuild the simulator after adding modules");
   }
+  if (any_quarantined_ && quarantined_[id] != 0) return;
   if (plan_ != nullptr &&
       (plan_->elided[id] != 0 || gate_.module_asleep(id))) {
     return;  // never activate dead or sleeping modules
@@ -950,7 +971,34 @@ void DynamicScheduler::visit_counters(const CounterVisitor& visit) const {
 }
 
 void DynamicScheduler::drain() {
+  // The cap is scaled by module count: a healthy cycle legitimately pops
+  // each module a small constant number of times, so "passes" here means
+  // worklist pops per module.  On overflow, report the channels still
+  // unresolved — those are what the churn is circling.
+  const std::uint64_t pop_limit =
+      iter_cap_ == 0 ? 0 : iter_cap_ * (module_tape_.size() + 1);
   while (head_ != tail_) {
+    if (pop_limit != 0 && ++cycle_pops_ > pop_limit) {
+      std::string chain;
+      std::size_t listed = 0;
+      for (const Connection* c : conn_tape_) {
+        if (c->fully_resolved()) continue;
+        if (listed != 0) chain += " -> ";
+        if (++listed > 6) {
+          chain += "...";
+          break;
+        }
+        chain += c->describe();
+      }
+      if (chain.empty()) chain = "(worklist churn, all channels resolved)";
+      throw liberty::SimulationError(
+          "combinational loop via " + chain +
+          " did not converge within the fixed-point iteration cap (" +
+          std::to_string(iter_cap_) + " passes) at cycle " +
+          std::to_string(cycle_) +
+          "; raise the cap (--max-iters) or break the loop with a "
+          "sequential module");
+    }
     Module* m = ring_[head_];
     head_ = (head_ + 1) & mask_;
     queued_stamp_[m->id()] = epoch_ - 1;
@@ -980,6 +1028,7 @@ void DynamicScheduler::on_backward_resolved(Connection& c) {
 }
 
 void DynamicScheduler::resolve_cycle() {
+  cycle_pops_ = 0;
   // Quiescence-gating decision phase, in topological order.  This runs
   // after the cycle_start loop, so state-only drives of awake producers
   // (e.g. an exhausted Source idling) are already resolved and upstream
@@ -1127,11 +1176,15 @@ void AnalyzedScheduler::run_scc(std::size_t scc_index) {
   // resolution this thread causes is observed by the hooks), replacing the
   // old O(group) generation polling per pass with an O(1) check.
   const std::uint64_t* resolutions = &detail::t_resolve_ctx.resolutions;
+  std::uint64_t passes = 0;
 
   while (true) {
     // React to quiescence within the group.
     while (true) {
       ++scc_iters_[scc_index];
+      if (iter_cap_ != 0 && ++passes > iter_cap_) {
+        throw_nonconvergence(scc_index, passes);
+      }
       const std::uint64_t before = *resolutions;
       for (Module* d : drivers) call_react(*d);
       for (ChannelId ch : group) {
@@ -1165,21 +1218,58 @@ void AnalyzedScheduler::run_scc(std::size_t scc_index) {
   }
 }
 
+void AnalyzedScheduler::throw_nonconvergence(std::size_t scc_index,
+                                             std::uint64_t passes) const {
+  // Attribute the oscillation: the SCC's member connections are the
+  // combinational loop (one entry per connection — forwards only, so the
+  // chain reads as the data path).
+  std::string chain;
+  std::size_t listed = 0;
+  for (ChannelId ch : graph_.sccs()[scc_index]) {
+    const ScheduleGraph::Node& n = graph_.nodes()[ch];
+    if (n.kind != ChannelKind::Forward) continue;
+    if (listed != 0) chain += " -> ";
+    if (++listed > 6) {
+      chain += "...";
+      break;
+    }
+    chain += n.conn->describe();
+  }
+  if (chain.empty() && !graph_.sccs()[scc_index].empty()) {
+    chain = graph_.nodes()[graph_.sccs()[scc_index][0]].conn->describe();
+  }
+  throw liberty::SimulationError(
+      "combinational loop via " + chain +
+      " did not converge within the fixed-point iteration cap (" +
+      std::to_string(passes - 1) + " passes) at cycle " +
+      std::to_string(cycle_) +
+      "; raise the cap (--max-iters) or break the loop with a sequential "
+      "module");
+}
+
 void AnalyzedScheduler::cleanup_unresolved() {
   // Rare endgame for channels the schedule could not attribute (e.g. a
   // gated ack whose intent was pending on a forward in a later SCC).
   // Mirrors the dynamic scheduler's quiesce-then-default loop globally.
   const std::size_t n_nodes = graph_.nodes().size();
   const std::uint64_t* resolutions = &detail::t_resolve_ctx.resolutions;
+  const std::uint64_t activation_limit =
+      iter_cap_ == 0 ? 0 : iter_cap_ * (n_nodes + 1);
+  std::uint64_t activations = 0;
   while (true) {
     bool any = false;
+    ChannelId first_unresolved = 0;
     for (ChannelId ch = 0; ch < n_nodes; ++ch) {
       if (!node_resolved(ch)) {
         any = true;
+        first_unresolved = ch;
         break;
       }
     }
     if (!any) return;
+    if (activation_limit != 0 && ++activations > activation_limit) {
+      throw_nonconvergence(graph_.scc_of()[first_unresolved], activations);
+    }
     ++cleanup_activations_;
     while (true) {
       const std::uint64_t before = *resolutions;

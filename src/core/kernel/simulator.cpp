@@ -47,9 +47,13 @@ void Simulator::restore(const KernelSnapshot& snap) {
   }
   now_ = snap.cycle;
   netlist_.set_stop(snap.stop_requested);
-  // The quiescence gate's cached channel values and asleep flags describe
-  // the pre-restore trajectory; drop them so the next cycle re-learns.
-  scheduler().invalidate_sleep_cache();
+  // Reset every piece of in-flight kernel state: the quiescence gate's
+  // caches, backoff and asleep flags describe the pre-restore trajectory,
+  // and if the last cycle aborted mid-resolve (watchdog violation,
+  // injected fault) the channels and fused-chain sweep stamps are dirty.
+  // recover_after_abort() wipes all of it; between clean cycles it is a
+  // no-op re-initialization.
+  scheduler().recover_after_abort();
 }
 
 void Simulator::trace_transfers(std::ostream& os) {

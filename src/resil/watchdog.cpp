@@ -1,0 +1,264 @@
+#include "liberty/resil/watchdog.hpp"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "liberty/core/connection.hpp"
+#include "liberty/core/netlist.hpp"
+#include "liberty/core/simulator.hpp"
+#include "liberty/obs/metrics.hpp"
+#include "liberty/support/error.hpp"
+
+namespace liberty::resil {
+
+// --- Shared hashing ---------------------------------------------------------
+
+std::uint64_t mix_transfer(std::uint64_t h, const core::Connection& c) {
+  h = core::fnv1a_mix(h, static_cast<std::uint64_t>(c.id()) + 1);
+  return core::digest_value(h, c.data());
+}
+
+std::uint64_t hash_resolved_transfers(const core::Netlist& netlist) {
+  std::uint64_t h = core::kFnv1aInit;
+  for (const auto& c : netlist.connections()) {
+    if (c->transferred()) h = mix_transfer(h, *c);
+  }
+  return h;
+}
+
+std::uint64_t fold_trace(const std::vector<std::uint64_t>& hashes) {
+  std::uint64_t h = core::kFnv1aInit;
+  for (const std::uint64_t cycle_hash : hashes) {
+    h = core::fnv1a_mix(h, cycle_hash);
+  }
+  return h;
+}
+
+// --- TraceRecorder ----------------------------------------------------------
+
+void TraceRecorder::on_cycle_resolved(core::Cycle cycle) {
+  if (hashes_.size() <= cycle) hashes_.resize(cycle + 1, core::kFnv1aInit);
+  hashes_[cycle] = hash_resolved_transfers(*netlist_);
+  ChainedProbe::on_cycle_resolved(cycle);
+}
+
+void TraceRecorder::truncate(core::Cycle cycle) {
+  if (hashes_.size() > cycle) hashes_.resize(cycle);
+}
+
+// --- Diagnostics ------------------------------------------------------------
+
+std::string_view diagnostic_kind_name(Diagnostic::Kind kind) noexcept {
+  switch (kind) {
+    case Diagnostic::Kind::Protocol: return "protocol";
+    case Diagnostic::Kind::Divergence: return "divergence";
+    case Diagnostic::Kind::NonConvergence: return "non_convergence";
+    case Diagnostic::Kind::HandlerFault: return "handler_fault";
+    case Diagnostic::Kind::Livelock: return "livelock";
+    case Diagnostic::Kind::KernelError: return "kernel_error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::format() const {
+  std::string s = "cycle " + std::to_string(cycle) + " " +
+                  std::string(diagnostic_kind_name(kind)) + ": " + detail;
+  if (!module.empty()) s += " [module '" + module + "']";
+  if (!connection.empty()) s += " [" + connection + "]";
+  return s;
+}
+
+// --- Watchdog ---------------------------------------------------------------
+
+void Watchdog::attach(core::Simulator& sim) {
+  netlist_ = &sim.netlist();
+  kernel_acked_.clear();
+  const auto& conns = netlist_->connections();
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    if (conns[i]->ack_mode() == core::AckMode::AutoAccept &&
+        !conns[i]->has_transfer_gate()) {
+      kernel_acked_.push_back(i);
+    }
+  }
+  sim.set_probe(this);
+}
+
+void Watchdog::record_baseline() {
+  recording_ = true;
+  baseline_.clear();
+}
+
+std::vector<std::vector<std::uint64_t>> Watchdog::take_baseline() {
+  recording_ = false;
+  return std::move(baseline_);
+}
+
+void Watchdog::set_baseline(std::vector<std::vector<std::uint64_t>> baseline) {
+  recording_ = false;
+  baseline_ = std::move(baseline);
+}
+
+void Watchdog::clear_baseline() {
+  recording_ = false;
+  baseline_.clear();
+}
+
+void Watchdog::record(Diagnostic d) {
+  ++total_;
+  ++by_kind_[static_cast<std::size_t>(d.kind)];
+  if (diagnostics_.size() < cfg_.max_diagnostics) {
+    diagnostics_.push_back(std::move(d));
+  }
+}
+
+void Watchdog::on_cycle_begin(core::Cycle cycle) {
+  if (cfg_.cycle_wall_budget > 0.0) {
+    cycle_start_ = std::chrono::steady_clock::now();
+    timing_ = true;
+  }
+  ChainedProbe::on_cycle_begin(cycle);
+}
+
+void Watchdog::on_cycle_resolved(core::Cycle cycle) {
+  ++cycles_checked_;
+  const std::uint64_t before = total_;
+  std::string first_violation;
+
+  if (cfg_.protocol_checks) {
+    const auto& conns = netlist_->connections();
+    for (const std::size_t i : kernel_acked_) {
+      const core::Connection& c = *conns[i];
+      if (c.acked() == c.enabled()) continue;
+      Diagnostic d;
+      d.kind = Diagnostic::Kind::Protocol;
+      d.cycle = cycle;
+      d.module = c.consumer() != nullptr ? c.consumer()->name() : "";
+      d.connection = c.describe();
+      d.detail = std::string("kernel-owned ack disagrees with enable (") +
+                 (c.enabled() ? "offered" : "idle") + " but " +
+                 (c.acked() ? "accepted" : "refused") + ")";
+      if (first_violation.empty()) first_violation = d.format();
+      record(std::move(d));
+    }
+  }
+
+  if (recording_ || !baseline_.empty()) {
+    const auto& conns = netlist_->connections();
+    std::vector<std::uint64_t> row(conns.size(), core::kFnv1aInit);
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      if (conns[i]->transferred()) {
+        row[i] = mix_transfer(core::kFnv1aInit, *conns[i]);
+      }
+    }
+    if (recording_) {
+      if (baseline_.size() <= cycle) {
+        baseline_.resize(cycle + 1,
+                         std::vector<std::uint64_t>(conns.size(),
+                                                    core::kFnv1aInit));
+      }
+      baseline_[cycle] = std::move(row);
+    } else if (cycle < baseline_.size()) {
+      const std::vector<std::uint64_t>& expect = baseline_[cycle];
+      const std::size_t n = std::min(expect.size(), row.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (row[i] == expect[i]) continue;
+        const core::Connection& c = *conns[i];
+        Diagnostic d;
+        d.kind = Diagnostic::Kind::Divergence;
+        d.cycle = cycle;
+        d.module = c.consumer() != nullptr ? c.consumer()->name() : "";
+        d.connection = c.describe();
+        if (expect[i] == core::kFnv1aInit) {
+          d.detail = "unexpected transfer (fault-free baseline has none)";
+        } else if (row[i] == core::kFnv1aInit) {
+          d.detail = "missing transfer (fault-free baseline has one)";
+        } else {
+          d.detail = "transferred payload differs from fault-free baseline";
+        }
+        if (first_violation.empty()) first_violation = d.format();
+        record(std::move(d));
+      }
+    }
+  }
+
+  if (cfg_.throw_on_violation && total_ != before) {
+    // Abort pre-commit: no end_of_cycle handler has run, so every earlier
+    // checkpoint still holds fault-free state (rollback soundness).
+    throw liberty::SimulationError("watchdog: " + first_violation);
+  }
+  ChainedProbe::on_cycle_resolved(cycle);
+}
+
+void Watchdog::on_cycle_end(core::Cycle cycle) {
+  if (timing_) {
+    timing_ = false;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      cycle_start_)
+            .count();
+    if (seconds > cfg_.cycle_wall_budget) {
+      // Record-only even in throwing mode: on_cycle_end is post-commit, so
+      // aborting here could strand a half-observed cycle.
+      Diagnostic d;
+      d.kind = Diagnostic::Kind::Livelock;
+      d.cycle = cycle;
+      d.detail = "cycle took " + std::to_string(seconds) +
+                 " s (budget " + std::to_string(cfg_.cycle_wall_budget) +
+                 " s)";
+      record(std::move(d));
+    }
+  }
+  ChainedProbe::on_cycle_end(cycle);
+}
+
+namespace {
+
+/// Pull the X out of the first "module 'X'" in an error message.
+[[nodiscard]] std::string extract_module(const std::string& what) {
+  const std::string key = "module '";
+  const std::size_t at = what.find(key);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + key.size();
+  const std::size_t end = what.find('\'', start);
+  if (end == std::string::npos) return "";
+  return what.substr(start, end - start);
+}
+
+}  // namespace
+
+void Watchdog::note_kernel_error(const std::string& what, core::Cycle cycle) {
+  if (what.rfind("watchdog: ", 0) == 0) return;  // already recorded
+  Diagnostic d;
+  d.cycle = cycle;
+  d.detail = what;
+  if (what.find("did not converge") != std::string::npos) {
+    d.kind = Diagnostic::Kind::NonConvergence;
+  } else if (what.find("injected handler fault") != std::string::npos ||
+             what.find("handler") != std::string::npos) {
+    d.kind = Diagnostic::Kind::HandlerFault;
+    d.module = extract_module(what);
+  } else {
+    d.kind = Diagnostic::Kind::KernelError;
+    d.module = extract_module(what);
+  }
+  record(std::move(d));
+}
+
+void Watchdog::export_metrics(obs::MetricsRegistry& reg) const {
+  reg.add_counter("resil.watchdog.cycles_checked", cycles_checked_);
+  reg.add_counter("resil.watchdog.violations", total_);
+  for (std::size_t k = 0; k < Diagnostic::kKindCount; ++k) {
+    reg.add_counter(
+        "resil.watchdog." +
+            std::string(diagnostic_kind_name(
+                static_cast<Diagnostic::Kind>(k))),
+        by_kind_[k]);
+  }
+  reg.add_counter("resil.watchdog.diagnostics_dropped",
+                  total_ > diagnostics_.size()
+                      ? total_ - diagnostics_.size()
+                      : 0);
+}
+
+}  // namespace liberty::resil

@@ -25,6 +25,10 @@
 #include "liberty/core/simulator.hpp"
 #include "liberty/testing/netspec.hpp"
 
+namespace liberty::resil {
+struct FaultPlan;
+}
+
 namespace liberty::testing {
 
 struct Candidate {
@@ -49,6 +53,12 @@ struct OracleConfig {
   /// must be invisible to simulation; running the oracle with this set
   /// proves profiling does not perturb results.
   bool profile = false;
+  /// Inject this fault plan into every simulator the oracle builds
+  /// (coarse and bisect phases alike).  Plans whose specs are restricted
+  /// to one scheduler kind perturb only that kind, so the oracle must
+  /// catch and bisect the induced divergence — the differential
+  /// acceptance test for the resil injector.  Must outlive the call.
+  const liberty::resil::FaultPlan* fault_plan = nullptr;
 };
 
 /// The oracle's verdict on one (spec, candidate) divergence.

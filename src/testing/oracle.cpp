@@ -8,6 +8,7 @@
 #include "liberty/core/state.hpp"
 #include "liberty/obs/profiler.hpp"
 #include "liberty/opt/optimizer.hpp"
+#include "liberty/resil/injector.hpp"
 
 namespace liberty::testing {
 
@@ -41,14 +42,22 @@ struct RunRecord {
 RunRecord run_full(const NetSpec& spec,
                    const liberty::core::ModuleRegistry& registry,
                    SchedulerKind kind, unsigned threads, Cycle every,
-                   bool profile, int opt_level) {
+                   bool profile, int opt_level,
+                   const liberty::resil::FaultPlan* plan) {
   Netlist netlist;
   spec.build(netlist, registry);
   if (opt_level > 0) {
     liberty::opt::optimize(netlist,
                            liberty::opt::OptOptions::for_level(opt_level));
   }
+  // The injector must outlive the simulator (the scheduler's destructor
+  // clears the per-connection hooks).
+  std::unique_ptr<liberty::resil::FaultInjector> injector;
+  if (plan != nullptr) {
+    injector = std::make_unique<liberty::resil::FaultInjector>(*plan);
+  }
   Simulator sim(netlist, kind, threads);
+  if (injector != nullptr) injector->install(sim);
   // With config.profile the probe rides along purely to prove it cannot
   // perturb the comparison; its aggregates are discarded.
   liberty::obs::CycleProfiler prof;
@@ -93,7 +102,8 @@ std::string kind_name(SchedulerKind kind) {
 Divergence bisect_window(const NetSpec& spec,
                          const liberty::core::ModuleRegistry& registry,
                          const Candidate& cand, const RunRecord& ref,
-                         const RunRecord& other, std::size_t window) {
+                         const RunRecord& other, std::size_t window,
+                         const liberty::resil::FaultPlan* plan) {
   Divergence d;
   d.candidate = cand;
 
@@ -105,8 +115,21 @@ Divergence bisect_window(const NetSpec& spec,
     liberty::opt::optimize(
         nl_cand, liberty::opt::OptOptions::for_level(cand.opt_level));
   }
+  // Lockstep replay must suffer the same faults as the coarse runs did —
+  // fault mappings are pure functions of (connection, cycle), so restoring
+  // to a snapshot and replaying reproduces them exactly.
+  std::unique_ptr<liberty::resil::FaultInjector> inj_ref;
+  std::unique_ptr<liberty::resil::FaultInjector> inj_cand;
+  if (plan != nullptr) {
+    inj_ref = std::make_unique<liberty::resil::FaultInjector>(*plan);
+    inj_cand = std::make_unique<liberty::resil::FaultInjector>(*plan);
+  }
   Simulator sim_ref(nl_ref, SchedulerKind::Dynamic);
   Simulator sim_cand(nl_cand, cand.kind, cand.threads);
+  if (inj_ref != nullptr) {
+    inj_ref->install(sim_ref);
+    inj_cand->install(sim_cand);
+  }
   // Each side restores its own snapshot (their digests agree at `window`,
   // so the states are equal in content) — this is the restore/replay path
   // the snapshot API exists for.
@@ -213,12 +236,13 @@ OracleResult run_oracle(const NetSpec& spec,
       config.snapshot_every == 0 ? 16 : config.snapshot_every;
   const RunRecord ref = run_full(spec, registry, SchedulerKind::Dynamic,
                                  /*threads=*/0, every, config.profile,
-                                 /*opt_level=*/0);
+                                 /*opt_level=*/0, config.fault_plan);
 
   OracleResult result;
   for (const Candidate& cand : candidates) {
     const RunRecord rec = run_full(spec, registry, cand.kind, cand.threads,
-                                   every, config.profile, cand.opt_level);
+                                   every, config.profile, cand.opt_level,
+                                   config.fault_plan);
 
     // First disagreeing window: window w spans snapshots w -> w+1.
     std::size_t bad_window = rec.window_hashes.size();
@@ -245,8 +269,9 @@ OracleResult run_oracle(const NetSpec& spec,
 
     result.ok = false;
     if (config.bisect) {
-      result.divergences.push_back(
-          bisect_window(spec, registry, cand, ref, rec, bad_window));
+      result.divergences.push_back(bisect_window(spec, registry, cand, ref,
+                                                 rec, bad_window,
+                                                 config.fault_plan));
     } else {
       Divergence d;
       d.candidate = cand;

@@ -8,6 +8,7 @@
 
 #include "liberty/ccl/ccl.hpp"
 #include "liberty/core/scheduler.hpp"
+#include "liberty/resil/fault_plan.hpp"
 #include "liberty/testing/fuzzer.hpp"
 #include "liberty/testing/netspec.hpp"
 #include "liberty/testing/oracle.hpp"
@@ -17,8 +18,10 @@
 namespace {
 
 using liberty::Value;
-using liberty::core::SchedulerFault;
 using liberty::core::SchedulerKind;
+using liberty::resil::FaultClass;
+using liberty::resil::FaultPlan;
+using liberty::resil::FaultSpec;
 using liberty::test::params;
 using liberty::test::registry;
 using liberty::testing::FuzzConfig;
@@ -40,13 +43,22 @@ liberty::core::ModuleRegistry& fuzz_registry() {
   return r;
 }
 
-/// Uninstalls an injected fault even when an assertion bails out early.
-struct FaultGuard {
-  explicit FaultGuard(SchedulerFault f) {
-    liberty::core::install_scheduler_fault_for_testing(std::move(f));
-  }
-  ~FaultGuard() { liberty::core::clear_scheduler_fault_for_testing(); }
-};
+/// A resil fault plan that breaks exactly one scheduler kind: drop the ack
+/// on `conn` from `cycle` onward, but only when simulating under
+/// `scheduler`.  The dynamic reference stays healthy, so the oracle must
+/// blame precisely that candidate.
+FaultPlan scheduler_fault(const std::string& scheduler,
+                          liberty::core::Cycle cycle,
+                          liberty::core::ConnId conn) {
+  FaultPlan plan;
+  FaultSpec f;
+  f.cls = FaultClass::DropAck;
+  f.connection = conn;
+  f.from_cycle = cycle;
+  f.scheduler = scheduler;
+  plan.faults.push_back(std::move(f));
+  return plan;
+}
 
 /// src -> queue -> sink; transfers every cycle, never quiesces, so a fault
 /// at any cycle has live traffic to corrupt.
@@ -108,8 +120,10 @@ TEST(Oracle, ModuleMixVariantsAgree) {
 // candidate, and (c) bisect to exactly the first corrupted cycle via
 // snapshot/restore replay.
 TEST(Oracle, InjectedStaticFaultCaughtAndBisected) {
-  const FaultGuard guard(SchedulerFault{"static", 50, 1});
-  const OracleResult r = run_oracle(pipeline_spec(), fuzz_registry());
+  const FaultPlan plan = scheduler_fault("static", 50, 1);
+  OracleConfig cfg;
+  cfg.fault_plan = &plan;
+  const OracleResult r = run_oracle(pipeline_spec(), fuzz_registry(), cfg);
   ASSERT_FALSE(r.ok);
   ASSERT_EQ(r.divergences.size(), 1u) << r.report();
   const liberty::testing::Divergence& d = r.divergences.front();
@@ -120,8 +134,10 @@ TEST(Oracle, InjectedStaticFaultCaughtAndBisected) {
 }
 
 TEST(Oracle, InjectedParallelFaultBlamesEveryThreadCount) {
-  const FaultGuard guard(SchedulerFault{"parallel", 30, 1});
-  const OracleResult r = run_oracle(pipeline_spec(), fuzz_registry());
+  const FaultPlan plan = scheduler_fault("parallel", 30, 1);
+  OracleConfig cfg;
+  cfg.fault_plan = &plan;
+  const OracleResult r = run_oracle(pipeline_spec(), fuzz_registry(), cfg);
   ASSERT_FALSE(r.ok);
   // Default battery: static (healthy) + parallel x {1, 2, 8} (all faulty).
   ASSERT_EQ(r.divergences.size(), 3u) << r.report();
@@ -138,8 +154,10 @@ TEST(Oracle, FaultOnFuzzedNetlistIsCaught) {
   const NetSpec spec = generate_netlist(1, FuzzConfig{});
   const auto conn =
       static_cast<liberty::core::ConnId>(spec.edges.size() - 1);
-  const FaultGuard guard(SchedulerFault{"static", 5, conn});
-  const OracleResult r = run_oracle(spec, fuzz_registry());
+  const FaultPlan plan = scheduler_fault("static", 5, conn);
+  OracleConfig cfg;
+  cfg.fault_plan = &plan;
+  const OracleResult r = run_oracle(spec, fuzz_registry(), cfg);
   ASSERT_FALSE(r.ok) << "fault on conn " << conn << " went unnoticed";
   EXPECT_GE(r.divergences.front().first_divergent_cycle, 5u);
 }
@@ -183,11 +201,15 @@ TEST(Shrink, NeverReturnsAPassingSpec) {
   // every structural candidate passes the oracle and must be rejected —
   // only the cycle budget can legally shrink.
   const NetSpec spec = chain_spec();
-  const FaultGuard guard(SchedulerFault{"static", 0, 2});
-  ASSERT_FALSE(run_oracle(spec, fuzz_registry()).ok);
+  const FaultPlan plan = scheduler_fault("static", 0, 2);
+  OracleConfig cfg;
+  cfg.fault_plan = &plan;
+  ASSERT_FALSE(run_oracle(spec, fuzz_registry(), cfg).ok);
 
-  const NetSpec reduced = liberty::testing::shrink_netlist(spec, fuzz_registry());
-  EXPECT_FALSE(run_oracle(reduced, fuzz_registry()).ok) << reduced.render();
+  const NetSpec reduced =
+      liberty::testing::shrink_netlist(spec, fuzz_registry(), cfg);
+  EXPECT_FALSE(run_oracle(reduced, fuzz_registry(), cfg).ok)
+      << reduced.render();
   EXPECT_EQ(reduced.modules.size(), spec.modules.size());
   EXPECT_LT(reduced.cycles, spec.cycles);
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "liberty/core/state.hpp"
+#include "liberty/opt/optimizer.hpp"
 #include "liberty/support/error.hpp"
 #include "liberty/testing/netspec.hpp"
 #include "test_util.hpp"
@@ -165,6 +166,39 @@ TEST(Snapshot, RestoreIntoFreshNetlist) {
   record_transfers(sim_b, log_b);
   for (int i = 0; i < 30; ++i) sim_b.step();
   EXPECT_EQ(log_b, log_a);
+}
+
+// Regression: the -O2 quiescence gate caches per-cycle resolutions and
+// replays them while a region sleeps; a restore rewinds module state
+// underneath those caches, so the kernel must invalidate all in-flight
+// scheduler state (gate caches, backoff, fused-chain stamps) on restore or
+// the replay serves stale cached values and diverges from the original.
+TEST(Snapshot, RestoreUnderO2GatingReplaysBitIdentical) {
+  for (const auto& spec : {pipeline_spec(), stochastic_spec()}) {
+    Netlist netlist;
+    spec.build(netlist, registry());
+    liberty::opt::optimize(netlist, liberty::opt::OptOptions::for_level(2));
+    for (const auto kind : {liberty::core::SchedulerKind::Dynamic,
+                            liberty::core::SchedulerKind::Static}) {
+      Simulator sim(netlist, kind, 0);
+      std::vector<std::string> log;
+      record_transfers(sim, log);
+
+      for (int i = 0; i < 40; ++i) sim.step();
+      const KernelSnapshot snap = sim.snapshot();
+      log.clear();
+      for (int i = 0; i < 40; ++i) sim.step();
+      const std::vector<std::string> original = log;
+      const std::uint64_t end_digest = sim.snapshot().digest();
+
+      sim.restore(snap);
+      log.clear();
+      for (int i = 0; i < 40; ++i) sim.step();
+      EXPECT_EQ(log, original) << "scheduler kind "
+                               << static_cast<int>(kind);
+      EXPECT_EQ(sim.snapshot().digest(), end_digest);
+    }
+  }
 }
 
 TEST(Snapshot, DigestEvolvesWithState) {

@@ -33,6 +33,9 @@
 #include "liberty/obs/profiler.hpp"
 #include "liberty/obs/trace.hpp"
 #include "liberty/pcl/pcl.hpp"
+#include "liberty/resil/fault_plan.hpp"
+#include "liberty/resil/injector.hpp"
+#include "liberty/resil/watchdog.hpp"
 #include "liberty/testing/fuzzer.hpp"
 #include "liberty/testing/netspec.hpp"
 #include "liberty/testing/oracle.hpp"
@@ -57,8 +60,15 @@ constexpr const char* kUsage = R"(usage: liberty_fuzz [options]
   --print-spec        print each generated netlist before running it
   --shrink            on failure, shrink to a minimal reproducer
   --no-bisect         skip snapshot/restore bisection on divergence
-  --inject-fault K:C:N  corrupt scheduler K (dynamic|static|parallel) from
-                      cycle C on connection N (harness self-test)
+  --inject-fault K:C:N  drop acks under scheduler K (dynamic|static|parallel)
+                      from cycle C on connection N (harness self-test; sugar
+                      for a one-spec --faults plan restricted to K)
+  --faults FILE       inject the liberty.faultplan JSON plan FILE into every
+                      oracle simulator
+  --fault-matrix      run the resil coverage matrix instead of fuzzing:
+                      every fault class injected into a reference pipeline
+                      and detected by the watchdog, plus a false-positive
+                      sweep over fault-free fuzzed netlists
   --profile FILE      run every oracle simulator with a kernel profiler
                       attached (proving probes cannot perturb results) and
                       write a Chrome trace of the first seed's reference run
@@ -73,13 +83,15 @@ struct Options {
   std::uint64_t count = 1;
   liberty::testing::FuzzConfig fuzz;
   liberty::testing::OracleConfig oracle;
+  // Owned here; oracle.fault_plan points at it while set.
+  std::unique_ptr<liberty::resil::FaultPlan> fault_plan;
   std::string profile_path;
   std::string metrics_path;
   std::uint64_t heartbeat = 0;
   int opt_level = 2;
   bool print_spec = false;
   bool shrink = false;
-  bool fault_installed = false;
+  bool fault_matrix = false;
 };
 
 bool parse_u64(const char* s, std::uint64_t& out) {
@@ -90,19 +102,22 @@ bool parse_u64(const char* s, std::uint64_t& out) {
   return true;
 }
 
-bool parse_fault(const std::string& arg, liberty::core::SchedulerFault& f) {
+/// K:C:N — the pre-FaultPlan CLI shape, kept for compatibility: a drop_ack
+/// spec on connection N from cycle C, restricted to scheduler kind K.
+bool parse_fault(const std::string& arg, liberty::resil::FaultSpec& f) {
   const std::size_t c1 = arg.find(':');
   const std::size_t c2 = arg.find(':', c1 == std::string::npos ? c1 : c1 + 1);
   if (c1 == std::string::npos || c2 == std::string::npos) return false;
-  f.scheduler_kind = arg.substr(0, c1);
+  f.scheduler = arg.substr(0, c1);
   std::uint64_t cycle = 0;
   std::uint64_t conn = 0;
   if (!parse_u64(arg.substr(c1 + 1, c2 - c1 - 1).c_str(), cycle)) return false;
   if (!parse_u64(arg.substr(c2 + 1).c_str(), conn)) return false;
-  if (f.scheduler_kind != "dynamic" && f.scheduler_kind != "static" &&
-      f.scheduler_kind != "parallel") {
+  if (f.scheduler != "dynamic" && f.scheduler != "static" &&
+      f.scheduler != "parallel") {
     return false;
   }
+  f.cls = liberty::resil::FaultClass::DropAck;
   f.from_cycle = cycle;
   f.connection = static_cast<liberty::core::ConnId>(conn);
   return true;
@@ -176,14 +191,28 @@ int parse_args(int argc, char** argv, Options& opt) {
     } else if (a == "--no-bisect") {
       opt.oracle.bisect = false;
     } else if (a == "--inject-fault") {
-      liberty::core::SchedulerFault fault;
+      liberty::resil::FaultSpec fault;
       const char* v = next();
       if (v == nullptr || !parse_fault(v, fault)) {
         std::cerr << "liberty_fuzz: --inject-fault wants kind:cycle:conn\n";
         return 2;
       }
-      liberty::core::install_scheduler_fault_for_testing(fault);
-      opt.fault_installed = true;
+      if (opt.fault_plan == nullptr) {
+        opt.fault_plan = std::make_unique<liberty::resil::FaultPlan>();
+      }
+      opt.fault_plan->faults.push_back(std::move(fault));
+    } else if (a == "--faults") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      try {
+        opt.fault_plan = std::make_unique<liberty::resil::FaultPlan>(
+            liberty::resil::FaultPlan::load(v));
+      } catch (const std::exception& e) {
+        std::cerr << "liberty_fuzz: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (a == "--fault-matrix") {
+      opt.fault_matrix = true;
     } else if (a == "--profile") {
       const char* v = next();
       if (v == nullptr) return 2;
@@ -243,6 +272,147 @@ void write_artifacts(const liberty::testing::NetSpec& spec,
   }
 }
 
+// --- --fault-matrix: the resil coverage matrix ------------------------------
+
+/// Reference pipeline for the matrix: a period-2 source so the queue
+/// alternates between offering and idling — both ack polarities get
+/// exercised, which is what makes drop_ack *and* spurious_ack observable.
+liberty::testing::NetSpec matrix_spec() {
+  using liberty::Value;
+  liberty::testing::NetSpec spec;
+  spec.cycles = 120;
+  liberty::core::Params src;
+  src.set("kind", Value(std::string("counter")));
+  src.set("period", Value(std::int64_t{2}));
+  liberty::core::Params q;
+  q.set("depth", Value(std::int64_t{3}));
+  spec.modules.push_back({"pcl.source", "src", src});
+  spec.modules.push_back({"pcl.queue", "q", q});
+  spec.modules.push_back({"pcl.sink", "snk", {}});
+  spec.edges.push_back({0, "out", 1, "in"});  // conn 0: src -> q (managed)
+  spec.edges.push_back({1, "out", 2, "in"});  // conn 1: q -> snk (auto ack)
+  return spec;
+}
+
+/// Fault-free reference run of `spec`: the watchdog baseline to diff
+/// against.
+std::vector<std::vector<std::uint64_t>> record_baseline(
+    const liberty::testing::NetSpec& spec,
+    const liberty::core::ModuleRegistry& registry) {
+  liberty::core::Netlist netlist;
+  spec.build(netlist, registry);
+  liberty::resil::Watchdog wd;
+  wd.record_baseline();
+  liberty::core::Simulator sim(netlist, liberty::core::SchedulerKind::Static);
+  wd.attach(sim);
+  sim.run(spec.cycles);
+  return wd.take_baseline();
+}
+
+struct MatrixRow {
+  bool detected = false;
+  std::string via;          // protocol | divergence | handler_fault | ...
+  std::string attribution;  // the first diagnostic, formatted
+};
+
+MatrixRow run_matrix_case(
+    const liberty::testing::NetSpec& spec,
+    const liberty::core::ModuleRegistry& registry,
+    const std::vector<std::vector<std::uint64_t>>& baseline,
+    liberty::resil::FaultClass cls) {
+  namespace resil = liberty::resil;
+  resil::FaultPlan plan;
+  plan.seed = 0xfa;
+  resil::FaultSpec f;
+  f.cls = cls;
+  f.from_cycle = 40;
+  if (cls == resil::FaultClass::HandlerThrow) {
+    f.module = "q";
+  } else if (cls == resil::FaultClass::DropAck ||
+             cls == resil::FaultClass::SpuriousAck) {
+    f.connection = 1;  // the kernel-owned (AutoAccept) ack
+  } else {
+    f.connection = 0;  // the managed forward channel
+  }
+  plan.faults.push_back(std::move(f));
+
+  liberty::core::Netlist netlist;
+  spec.build(netlist, registry);
+  resil::FaultInjector injector(plan);
+  resil::Watchdog wd;
+  wd.set_baseline(baseline);
+  liberty::core::Simulator sim(netlist, liberty::core::SchedulerKind::Static);
+  injector.install(sim);
+  wd.attach(sim);
+  try {
+    sim.run(spec.cycles);
+  } catch (const liberty::Error& e) {
+    wd.note_kernel_error(e.what(), sim.now() > 0 ? sim.now() - 1 : 0);
+  }
+
+  MatrixRow row;
+  if (wd.violation_count() > 0) {
+    row.detected = true;
+    const resil::Diagnostic& d = wd.diagnostics().front();
+    row.via = std::string(resil::diagnostic_kind_name(d.kind));
+    row.attribution = d.format();
+  }
+  return row;
+}
+
+/// Watchdog violations on a fault-free run of `spec` (must be zero).
+std::uint64_t false_positive_count(
+    const liberty::testing::NetSpec& spec,
+    const liberty::core::ModuleRegistry& registry) {
+  auto baseline = record_baseline(spec, registry);
+  liberty::core::Netlist netlist;
+  spec.build(netlist, registry);
+  liberty::resil::Watchdog wd;
+  wd.set_baseline(std::move(baseline));
+  liberty::core::Simulator sim(netlist, liberty::core::SchedulerKind::Static);
+  wd.attach(sim);
+  sim.run(spec.cycles);
+  return wd.violation_count();
+}
+
+int run_fault_matrix(const liberty::core::ModuleRegistry& registry,
+                     const Options& opt) {
+  namespace resil = liberty::resil;
+  const liberty::testing::NetSpec spec = matrix_spec();
+  const auto baseline = record_baseline(spec, registry);
+
+  std::size_t detected = 0;
+  std::cout << "fault-vs-detection coverage matrix (static scheduler, "
+            << spec.cycles << " cycles, onset cycle 40):\n";
+  for (std::size_t k = 0; k < resil::kFaultClassCount; ++k) {
+    const auto cls = static_cast<resil::FaultClass>(k);
+    const MatrixRow row = run_matrix_case(spec, registry, baseline, cls);
+    std::cout << "  " << resil::fault_class_name(cls) << ": "
+              << (row.detected ? "DETECTED via " + row.via : "MISSED");
+    if (row.detected) std::cout << "  (" << row.attribution << ")";
+    std::cout << "\n";
+    if (row.detected) ++detected;
+  }
+
+  // False-positive leg: the watchdog must stay silent on fault-free runs —
+  // the matrix pipeline plus a sweep of fuzzed topologies.
+  std::uint64_t fp = false_positive_count(spec, registry);
+  std::uint64_t clean_runs = 1;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    fp += false_positive_count(
+        liberty::testing::generate_netlist(s, opt.fuzz), registry);
+    ++clean_runs;
+  }
+  std::cout << "  false positives on " << clean_runs
+            << " fault-free runs: " << fp << "\n";
+
+  const bool ok = detected == resil::kFaultClassCount && fp == 0;
+  std::cout << (ok ? "coverage: " : "COVERAGE FAILURE: ") << detected << "/"
+            << resil::kFaultClassCount << " classes detected, " << fp
+            << " false positives\n";
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,11 +423,14 @@ int main(int argc, char** argv) {
   liberty::pcl::register_pcl(registry);
   liberty::ccl::register_ccl(registry);
 
+  if (opt.fault_matrix) return run_fault_matrix(registry, opt);
+  opt.oracle.fault_plan = opt.fault_plan.get();
+
   // Candidate battery: every scheduler unoptimized, then again at
   // --opt-level so each fuzzed netlist also proves the elaboration-time
   // optimizer sound (bit-identical transfers, digests, and stats).  The
-  // --inject-fault self-test stays unoptimized: it corrupts one channel
-  // resolution, which a pre-resolved constant on that channel would mask.
+  // fault-injection self-test keeps the battery unoptimized so exactly the
+  // targeted scheduler kind diverges and blame stays unambiguous.
   {
     using liberty::core::SchedulerKind;
     using liberty::testing::Candidate;
@@ -267,7 +440,7 @@ int main(int argc, char** argv) {
         Candidate{SchedulerKind::Parallel, 2},
         Candidate{SchedulerKind::Parallel, 8},
     };
-    if (opt.opt_level > 0 && !opt.fault_installed) {
+    if (opt.opt_level > 0 && opt.fault_plan == nullptr) {
       opt.oracle.candidates.push_back(
           Candidate{SchedulerKind::Dynamic, 0, opt.opt_level});
       opt.oracle.candidates.push_back(
@@ -345,7 +518,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (opt.fault_installed) liberty::core::clear_scheduler_fault_for_testing();
   if (opt.count > 1) {
     std::cout << (opt.count - failures) << "/" << opt.count
               << " seeds passed\n";
