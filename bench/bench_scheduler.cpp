@@ -29,6 +29,7 @@
 // kernel.opt.* counts.
 #include "bench_util.hpp"
 
+#include "liberty/gen/compiled_scheduler.hpp"
 #include "liberty/opt/optimizer.hpp"
 
 using namespace liberty;
@@ -39,6 +40,10 @@ namespace {
 struct NetKind {
   const char* name;
   void (*build)(core::Netlist&);
+  // Larger netlists additionally sweep the parallel scheduler across
+  // explicit thread counts (the base matrix runs it at hardware
+  // concurrency, which on a small host never exercises the worker pool).
+  bool thread_sweep = false;
 };
 
 void build_chains(core::Netlist& nl) {
@@ -172,11 +177,12 @@ struct Result {
   unsigned threads = 0;          // parallel only
   std::uint64_t waves = 0;       // parallel only
   std::uint64_t max_wave_width = 0;
+  std::uint64_t waves_dispatched = 0;
   std::vector<std::pair<std::string, std::uint64_t>> kernel;
 };
 
-Result run(void (*build)(core::Netlist&), const SchedulerSpec& spec,
-           std::uint64_t cycles, int opt_level) {
+Result run_once(void (*build)(core::Netlist&), const SchedulerSpec& spec,
+                std::uint64_t cycles, int opt_level) {
   core::Netlist nl;
   build(nl);
   nl.finalize();
@@ -196,9 +202,28 @@ Result run(void (*build)(core::Netlist&), const SchedulerSpec& spec,
     r.threads = par->threads();
     r.waves = par->wave_count();
     r.max_wave_width = par->max_wave_width();
+    r.waves_dispatched = par->waves_dispatched();
   }
   r.kernel = kernel_counters(sim.scheduler());
   return r;
+}
+
+Result run(void (*build)(core::Netlist&), const SchedulerSpec& spec,
+           std::uint64_t cycles, int opt_level) {
+  // Best of two independent runs: at 20k cycles a single measurement on a
+  // shared/single-core host carries enough timer and scheduling-quantum
+  // noise to flip O2/O0 ratios; the minimum wall time of two fresh
+  // elaborate+simulate passes is a far more stable estimator.  Simulation
+  // results are identical across repeats by the bit-identity guarantee, so
+  // only the timing is folded; counters are reported from the first run
+  // (the gate's wall-clock calibration may retire differently per repeat).
+  Result best = run_once(build, spec, cycles, opt_level);
+  const Result again = run_once(build, spec, cycles, opt_level);
+  if (again.wall_s < best.wall_s) {
+    best.wall_s = again.wall_s;
+    best.kcps = again.kcps;
+  }
+  return best;
 }
 
 }  // namespace
@@ -206,16 +231,18 @@ Result run(void (*build)(core::Netlist&), const SchedulerSpec& spec,
 int main() {
   std::printf(
       "E8: dynamic vs static vs parallel scheduling (ref [22] optimization)\n\n");
-  const NetKind kinds[] = {{"pipelines x64", build_chains},
+  liberty::gen::ensure_registered();
+  const NetKind kinds[] = {{"pipelines x64", build_chains, true},
                            {"mesh 4x4", build_mesh_4x4},
-                           {"mesh 8x8", build_mesh_8x8},
-                           {"arbiter trees", build_arbiters},
+                           {"mesh 8x8", build_mesh_8x8, true},
+                           {"arbiter trees", build_arbiters, true},
                            {"passthrough x32", build_passthrough},
                            {"const fold x32", build_const_fold},
                            {"burst idle", build_burst_idle}};
   constexpr std::uint64_t kCycles = 20'000;
   constexpr int kOptLevels[] = {0, 2};
-  const auto specs = scheduler_matrix();
+  auto base_specs = scheduler_matrix();
+  base_specs.push_back({"compiled", core::SchedulerKind::Compiled, 0});
 
   FILE* json_file = std::fopen("BENCH_scheduler.json", "w");
   JsonWriter json(json_file);
@@ -228,6 +255,13 @@ int main() {
            "O0 react/cyc", "O2 react/cyc"});
   bool diverged = false;
   for (const auto& k : kinds) {
+    auto specs = base_specs;
+    if (k.thread_sweep) {
+      for (const unsigned n : {1u, 2u, 4u, 8u}) {
+        specs.push_back({"parallel-" + std::to_string(n) + "t",
+                         core::SchedulerKind::Parallel, n});
+      }
+    }
     json.object();
     json.field("name", k.name);
     json.begin_array("schedulers");
@@ -252,6 +286,7 @@ int main() {
           json.field("threads", r.threads);
           json.field("waves", r.waves);
           json.field("max_wave_width", r.max_wave_width);
+          json.field("waves_dispatched", r.waves_dispatched);
         }
         emit_kernel_counters(json, r.kernel);
         json.end_object();

@@ -4,13 +4,15 @@
 //     --cycles N          cycles to simulate                [10000]
 //     --param NAME=VALUE  override a top-level param (repeatable;
 //                         integers, reals, true/false, or strings)
-//     --scheduler dyn|static|parallel                       [static]
+//     --scheduler dyn|static|parallel|compiled              [static]
 //     --threads N         worker threads for --scheduler parallel
 //                         (0 = hardware concurrency)        [0]
 //     --opt-level N       elaboration-time optimizer level 0..2 [2]
 //     --opt-report        print the optimizer's per-item report
 //     --dot FILE          write the netlist as Graphviz DOT and exit
 //                         (annotated with optimizer conclusions at -O1+)
+//     --dump-bytecode     print the compiled backend's lowered program
+//                         (docs/codegen.md) and exit
 //     --vcd FILE          also record a VCD transfer waveform
 //     --profile FILE      write a Chrome trace-event JSON profile
 //                         (load in Perfetto / chrome://tracing)
@@ -51,6 +53,7 @@
 #include "liberty/core/lss/parser.hpp"
 #include "liberty/core/simulator.hpp"
 #include "liberty/core/vcd.hpp"
+#include "liberty/gen/compiled_scheduler.hpp"
 #include "liberty/mpl/mpl.hpp"
 #include "liberty/nil/nil.hpp"
 #include "liberty/obs/metrics.hpp"
@@ -90,9 +93,10 @@ liberty::Value parse_value(const std::string& text) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s SPEC.lss [--cycles N] [--param NAME=VALUE]...\n"
-               "       [--scheduler dyn|static|parallel] [--threads N]\n"
-               "       [--opt-level N] [--opt-report]\n"
-               "       [--dot FILE] [--vcd FILE] [--profile FILE]\n"
+               "       [--scheduler dyn|static|parallel|compiled]\n"
+               "       [--threads N] [--opt-level N] [--opt-report]\n"
+               "       [--dot FILE] [--dump-bytecode]\n"
+               "       [--vcd FILE] [--profile FILE]\n"
                "       [--metrics FILE] [--metrics-csv FILE]\n"
                "       [--heartbeat N] [--quiet]\n"
                "       [--faults FILE] [--watchdog] [--max-iters N]\n"
@@ -111,6 +115,7 @@ int main(int argc, char** argv) {
   auto kind = liberty::core::SchedulerKind::Static;
   unsigned threads = 0;
   std::string dot_path;
+  bool dump_bytecode = false;
   std::string vcd_path;
   std::string profile_path;
   std::string metrics_path;
@@ -169,6 +174,8 @@ int main(int argc, char** argv) {
       opt_report = true;
     } else if (arg == "--dot") {
       dot_path = next();
+    } else if (arg == "--dump-bytecode") {
+      dump_bytecode = true;
     } else if (arg == "--vcd") {
       vcd_path = next();
     } else if (arg == "--profile") {
@@ -207,6 +214,7 @@ int main(int argc, char** argv) {
   liberty::ccl::register_ccl(registry);
   liberty::mpl::register_mpl(registry);
   liberty::nil::register_nil(registry);
+  liberty::gen::ensure_registered();
 
   try {
     const auto spec = liberty::core::lss::parse_file(spec_path);
@@ -228,6 +236,12 @@ int main(int argc, char** argv) {
       std::printf("wrote %s (%zu instances, %zu connections)\n",
                   dot_path.c_str(), netlist.module_count(),
                   netlist.connection_count());
+      return 0;
+    }
+
+    if (dump_bytecode) {
+      liberty::gen::CompiledScheduler compiled(netlist);
+      std::fputs(compiled.disassemble().c_str(), stdout);
       return 0;
     }
 

@@ -71,6 +71,27 @@ for spec in examples/specs/*.lss; do
 done
 echo "optimizer stats identical on $(ls examples/specs/*.lss | wc -l) specs"
 
+# Codegen smoke: the compiled backend must reproduce the dynamic
+# scheduler's state digest on every example spec, and the disassembler
+# must produce a listing (docs/codegen.md).  The oracle and fuzz sweep
+# prove trace-level identity in depth; this is the fast end-to-end check.
+echo "=== compiled vs dynamic digest ==="
+for spec in examples/specs/*.lss; do
+  dyn="$(./build/examples/lss_run "$spec" --cycles 500 --scheduler dyn \
+    --digest --quiet | grep '^digest:')"
+  comp="$(./build/examples/lss_run "$spec" --cycles 500 --scheduler compiled \
+    --digest --quiet | grep '^digest:')"
+  if [ "$dyn" != "$comp" ]; then
+    echo "compiled scheduler diverged on $spec" >&2
+    echo "  dynamic:  $dyn" >&2
+    echo "  compiled: $comp" >&2
+    exit 1
+  fi
+done
+./build/examples/lss_run examples/specs/funnel.lss --dump-bytecode \
+  | grep -q '== resolve ('
+echo "compiled digests identical on $(ls examples/specs/*.lss | wc -l) specs"
+
 # Resilience smoke: inject -> detect -> roll back -> finish bit-identical
 # (docs/resilience.md).  A drop_ack fault on the funnel's sink feed must be
 # flagged by the watchdog (exit 1), and the rollback supervisor must mask

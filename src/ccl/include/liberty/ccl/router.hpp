@@ -97,6 +97,14 @@ class Router : public liberty::core::Module {
   std::vector<std::size_t> rr_;             // per-output rotation pointer
   std::vector<int> grant_;                  // per-output winning buffer, -1
   std::vector<int> out_lock_;               // per-output: owning buffer, -1
+
+  // Resolved-once stat handles (see StatSet::bind).
+  liberty::Accumulator* occupancy_stat_ = nullptr;
+  liberty::Counter* flits_in_stat_ = nullptr;
+  liberty::Counter* flits_out_stat_ = nullptr;
+  liberty::Counter* delivered_stat_ = nullptr;
+  liberty::Counter* alloc_conflicts_stat_ = nullptr;
+  liberty::Counter* buffer_stalls_stat_ = nullptr;
 };
 
 }  // namespace liberty::ccl

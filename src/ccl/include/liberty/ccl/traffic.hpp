@@ -66,6 +66,10 @@ class TrafficGen : public liberty::core::Module {
   std::deque<liberty::Value> backlog_;
   std::uint64_t generated_ = 0;
   std::uint64_t injected_ = 0;
+
+  // Resolved-once stat handles (see StatSet::bind).
+  liberty::Accumulator* backlog_stat_ = nullptr;
+  liberty::Counter* injected_stat_ = nullptr;
 };
 
 /// Consumes flits and measures end-to-end latency and hop counts.
@@ -89,6 +93,12 @@ class TrafficSink : public liberty::core::Module {
   liberty::core::Port& in_;
   std::uint64_t stop_after_;
   std::uint64_t received_ = 0;
+
+  // Resolved-once stat handles (see StatSet::bind).
+  liberty::Counter* received_stat_ = nullptr;
+  liberty::Counter* packets_stat_ = nullptr;
+  liberty::Histogram* latency_stat_ = nullptr;
+  liberty::Histogram* hops_stat_ = nullptr;
 };
 
 }  // namespace liberty::ccl

@@ -115,7 +115,10 @@ void Router::cycle_start(Cycle c) {
       continue;
     }
     power_.on_arbitration(candidates.size());
-    if (candidates.size() > 1) stats().counter("alloc_conflicts").inc();
+    if (candidates.size() > 1) {
+      stats().bind(alloc_conflicts_stat_, "alloc_conflicts");
+      alloc_conflicts_stat_->inc();
+    }
     std::size_t win = candidates.front();
     for (const std::size_t b : candidates) {
       if (b >= rr_[o]) {
@@ -129,7 +132,8 @@ void Router::cycle_start(Cycle c) {
 
   std::size_t occupancy = 0;
   for (const auto& q : buffers_) occupancy += q.size();
-  stats().accumulator("occupancy").add(static_cast<double>(occupancy));
+  stats().bind(occupancy_stat_, "occupancy");
+  occupancy_stat_->add(static_cast<double>(occupancy));
 }
 
 void Router::react() {
@@ -151,7 +155,8 @@ void Router::react() {
       in_.ack(i);
     } else {
       in_.nack(i);
-      stats().counter("buffer_stalls").inc();
+      stats().bind(buffer_stalls_stat_, "buffer_stalls");
+      buffer_stalls_stat_->inc();
     }
   }
 }
@@ -170,8 +175,12 @@ void Router::end_of_cycle() {
     q.pop_front();
     power_.on_buffer_read();
     power_.on_crossbar_traversal();
-    stats().counter("flits_out").inc();
-    if (o == 0) stats().counter("delivered").inc();
+    stats().bind(flits_out_stat_, "flits_out");
+    flits_out_stat_->inc();
+    if (o == 0) {
+      stats().bind(delivered_stat_, "delivered");
+      delivered_stat_->inc();
+    }
     rr_[o] = (static_cast<std::size_t>(grant_[o]) + 1) % buffers_.size();
   }
   for (std::size_t i = 0; i < in_.width(); ++i) {
@@ -187,7 +196,8 @@ void Router::end_of_cycle() {
     liberty::Value v(std::static_pointer_cast<const Payload>(flit->hopped()));
     buffers_[buf].push_back(Entry{std::move(v), out_port, now() + pipeline_});
     power_.on_buffer_write();
-    stats().counter("flits_in").inc();
+    stats().bind(flits_in_stat_, "flits_in");
+    flits_in_stat_->inc();
   }
 }
 

@@ -77,7 +77,8 @@ void TrafficGen::cycle_start(Cycle c) {
     }
     ++generated_;
   }
-  stats().accumulator("backlog").add(static_cast<double>(backlog_.size()));
+  stats().bind(backlog_stat_, "backlog");
+  backlog_stat_->add(static_cast<double>(backlog_.size()));
   if (!backlog_.empty()) {
     out_.send(backlog_.front());
   } else {
@@ -89,7 +90,8 @@ void TrafficGen::end_of_cycle() {
   if (out_.transferred()) {
     backlog_.pop_front();
     ++injected_;
-    stats().counter("injected").inc();
+    stats().bind(injected_stat_, "injected");
+    injected_stat_->inc();
   }
 }
 
@@ -127,12 +129,16 @@ void TrafficSink::end_of_cycle() {
     if (!in_.transferred(i)) continue;
     const auto flit = in_.data(i).as<Flit>();
     ++received_;
-    stats().counter("received").inc();
-    if (flit->tail) stats().counter("packets").inc();
-    stats()
-        .histogram("latency", 512, 1.0)
-        .add(static_cast<double>(now() - flit->born));
-    stats().histogram("hops", 32, 1.0).add(static_cast<double>(flit->hops));
+    stats().bind(received_stat_, "received");
+    received_stat_->inc();
+    if (flit->tail) {
+      stats().bind(packets_stat_, "packets");
+      packets_stat_->inc();
+    }
+    stats().bind(latency_stat_, "latency", 512, 1.0);
+    latency_stat_->add(static_cast<double>(now() - flit->born));
+    stats().bind(hops_stat_, "hops", 32, 1.0);
+    hops_stat_->add(static_cast<double>(flit->hops));
   }
   if (stop_after_ != 0 && received_ >= stop_after_) request_stop();
 }

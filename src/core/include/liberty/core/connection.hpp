@@ -32,8 +32,12 @@
 // the same connection resolve concurrently on different threads, at least
 // one of the two resolutions observes the completed transfer (the schedulers
 // rely on this to maintain the transferred-connection dirty list without an
-// end-of-cycle scan).  Transfer gates require producer and consumer to be
-// co-scheduled; gates must be installed before scheduler construction.
+// end-of-cycle scan).  Strictly single-threaded schedulers may switch a
+// connection into relaxed publication (SchedulerBase::set_relaxed_resolution)
+// to drop the seq_cst store fences from the resolve hot path; the dirty-list
+// guarantee then holds trivially because one thread performs every resolve.
+// Transfer gates require producer and consumer to be co-scheduled; gates
+// must be installed before scheduler construction.
 #pragma once
 
 #include <atomic>
@@ -209,8 +213,18 @@ class Connection {
       throw liberty::SimulationError(
           "non-monotone forward drive on connection " + describe());
     }
-    data_ = v;  // published by the enable_ store below
-    enable_.store(enable, std::memory_order_seq_cst);
+    // Published by the enable_ store below.  An unresolved channel's data_
+    // is always the post-reset token, so token drives (idle(), token
+    // traffic) skip the variant assignment — the idempotence compare above
+    // still holds because both sides stay monostate.
+    if (!v.is_token()) data_ = v;
+    // The memory order must be a compile-time constant for the compiler to
+    // drop the fence, hence the explicit branch on relaxed_.
+    if (relaxed_) {
+      enable_.store(enable, std::memory_order_relaxed);
+    } else {
+      enable_.store(enable, std::memory_order_seq_cst);
+    }
     gen_fwd_.store(gen_fwd_.load(std::memory_order_relaxed) + 1,
                    std::memory_order_relaxed);
     if (hooks_ != nullptr) hooks_->on_forward_resolved(*this);
@@ -249,7 +263,11 @@ class Connection {
 
   void finish_backward(Tristate final_ack) {
     pending_intent_.store(Tristate::Unknown, std::memory_order_relaxed);
-    ack_.store(final_ack, std::memory_order_seq_cst);
+    if (relaxed_) {
+      ack_.store(final_ack, std::memory_order_relaxed);
+    } else {
+      ack_.store(final_ack, std::memory_order_seq_cst);
+    }
     gen_bwd_.store(gen_bwd_.load(std::memory_order_relaxed) + 1,
                    std::memory_order_relaxed);
     if (hooks_ != nullptr) hooks_->on_backward_resolved(*this);
@@ -266,7 +284,7 @@ class Connection {
     ack_.store(Tristate::Unknown, std::memory_order_relaxed);
     intent_.store(Tristate::Unknown, std::memory_order_relaxed);
     pending_intent_.store(Tristate::Unknown, std::memory_order_relaxed);
-    data_ = Value();
+    if (!data_.is_token()) data_ = Value();
   }
 
   void note_defaulted() noexcept {
@@ -274,6 +292,10 @@ class Connection {
   }
   void set_hooks(ResolveHooks* h) noexcept { hooks_ = h; }
   void set_fault_hook(FaultHook* h) noexcept { fault_ = h; }
+  /// Relaxed channel-state publication (see file comment).  Only a
+  /// single-threaded scheduler may set this, and it must restore seq_cst
+  /// on teardown (SchedulerBase::set_relaxed_resolution handles both).
+  void set_relaxed(bool r) noexcept { relaxed_ = r; }
 
   ConnId id_;
   Module* producer_;
@@ -281,6 +303,7 @@ class Connection {
   std::string producer_ref_;
   std::string consumer_ref_;
   AckMode ack_mode_ = AckMode::AutoAccept;
+  bool relaxed_ = false;
   TransferGate gate_;
   ResolveHooks* hooks_ = nullptr;
   FaultHook* fault_ = nullptr;

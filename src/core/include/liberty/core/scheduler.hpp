@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -186,6 +187,13 @@ class QuiescenceGate {
   [[nodiscard]] bool module_asleep(ModuleId id) const noexcept {
     return enabled_ && asleep_[id].load(std::memory_order_relaxed) != 0;
   }
+  /// Structural: may this module ever be marked asleep?  Lowering uses this
+  /// to keep the asleep check out of opcodes for modules that cannot sleep
+  /// (runtime retirement only ever shrinks the gateable set, so a gated
+  /// opcode for a since-retired module degrades to one always-false test).
+  [[nodiscard]] bool module_gateable(ModuleId id) const noexcept {
+    return enabled_ && gateable_[id] != 0;
+  }
 
   /// Reset per-cycle state and mark gateable quiescent modules asleep.
   /// A module sleeps only when every candidate SCC it drives is armed
@@ -197,13 +205,23 @@ class QuiescenceGate {
   /// wake any asleep drivers (running their deferred cycle_start for
   /// `cycle`, and reporting them through `woken` when non-null) and return
   /// false so the caller executes the SCC normally.
+  /// The disabled/retired test is inline: schedulers and the compiled tape
+  /// query the gate once per SCC (and once per module for the commit skip)
+  /// every cycle, so after the cost-model guard turns the gate off these
+  /// must cost one predictable branch — not an out-of-line call whose body
+  /// immediately returns.
   bool try_sleep(std::uint32_t scc, Cycle cycle,
-                 std::vector<Module*>* woken = nullptr);
+                 std::vector<Module*>* woken = nullptr) {
+    if (!enabled_ || suspended_ || candidate_[scc] == 0) return false;
+    return try_sleep_slow(scc, cycle, woken);
+  }
   /// Stamp modules adjacent to this cycle's transfers (pre-dedup dirty
   /// list) so skip_end_of_cycle keeps their commit hook.
   void mark_transfers(const std::vector<Connection*>& transferred,
                       std::uint64_t token);
-  [[nodiscard]] bool skip_end_of_cycle(const Module& m, std::uint64_t token);
+  [[nodiscard]] bool skip_end_of_cycle(const Module& m, std::uint64_t token) {
+    return enabled_ && skip_end_of_cycle_slow(m, token);
+  }
   /// Refresh caches from this cycle's resolved channels and re-sample
   /// can_sleep() for next cycle.  Main thread, before reset_channels.
   /// `cycle` is the cycle that just finished; SCCs backed off past the next
@@ -213,6 +231,10 @@ class QuiescenceGate {
   void invalidate();
 
   void visit_counters(const CounterVisitor& visit) const;
+
+  /// True while the measured cost-model guard runs its ungated sample
+  /// window (nothing sleeps; see kCalibPeriod below).
+  [[nodiscard]] bool suspended() const noexcept { return suspended_; }
 
  private:
   struct Ch {
@@ -226,8 +248,20 @@ class QuiescenceGate {
     std::vector<Module*> drivers;  // distinct, first-appearance order
   };
 
+  bool try_sleep_slow(std::uint32_t scc, Cycle cycle,
+                      std::vector<Module*>* woken);
+  [[nodiscard]] bool skip_end_of_cycle_slow(const Module& m,
+                                            std::uint64_t token);
   [[nodiscard]] bool boundary_unchanged(const SccInfo& si) const;
   void replay(const SccInfo& si);
+  /// Permanently drop one SCC from gating: its drivers stop arming asleep
+  /// (so cycle_start keeps running and the SCC resolves normally).
+  void retire_scc(std::uint32_t scc);
+  void clear_asleep() noexcept;
+  /// Forget learned caches (cache validity, backoff, sampled sleep_ok)
+  /// while keeping the candidate structure — used when gating resumes
+  /// after a suspended window left the caches stale.
+  void drop_caches();
 
   bool enabled_ = false;
   std::vector<SccInfo> info_;          // per SCC (empty unless candidate)
@@ -255,6 +289,30 @@ class QuiescenceGate {
   Cycle next_audit_ = kAuditPeriod;
   std::uint64_t sleeps_at_audit_ = 0;
   int zero_windows_ = 0;
+  // Measured cost-model guard: gating is an optimization bet, and some
+  // netlists lose it (boundary compares + cache replays + snapshot refresh
+  // cost more than the handlers they skip).  The first kCalibPeriod-cycle
+  // window after construction runs gated, the second runs *suspended*
+  // (nothing sleeps, no snapshots), and refresh() compares the wall-clock
+  // window times: the gate survives only when the gated window was
+  // measurably faster (a >=2% win) — a marginal gate keeps costing every
+  // remaining cycle, so the asymmetric risk says bail unless gating
+  // provably pays.  Timing feeds the on/off decision only — gating
+  // never changes simulation results — so bit-identity is untouched.
+  // Additionally each audit window retires individual SCCs whose measured
+  // sleep ratio is below 1/2: below that, the per-sleep replay plus the
+  // per-cycle boundary/snapshot overhead cannot beat the skipped handlers.
+  static constexpr Cycle kCalibPeriod = 384;
+  enum class Calib : std::uint8_t { GatedWindow, UngatedWindow, Done };
+  Calib calib_ = Calib::GatedWindow;
+  bool suspended_ = false;
+  bool win_started_ = false;
+  Cycle win_end_ = 0;
+  std::chrono::steady_clock::time_point win_start_{};
+  double gated_seconds_ = 0.0;
+  std::uint64_t sleeps_at_win_ = 0;
+  std::vector<std::uint64_t> audit_scc_sleeps_;  // per SCC, at last audit
+  std::uint64_t retired_sccs_ = 0;
   std::vector<Tristate> cached_sig_;   // per channel
   std::vector<Value> cached_val_;      // per channel (asserted forwards)
   std::vector<std::uint64_t> eoc_stamp_;  // per module: last transfer cycle
@@ -371,6 +429,25 @@ class SchedulerBase : public ResolveHooks {
 
  protected:
   virtual void resolve_cycle() = 0;
+
+  /// Phase seams: run_cycle delegates the cycle_start and end_of_cycle
+  /// sweeps to these virtuals so a backend with its own per-module
+  /// schedule (the compiled scheduler's start/commit tapes) can replace
+  /// the generic loops.  `cycle_` is valid when they run; overrides must
+  /// preserve the base loops' observable behaviour exactly (now_ stamping,
+  /// quarantine/elide/sleep skips, the end-of-cycle transfer gate).
+  virtual void start_phase();
+  virtual void update_phase(std::uint64_t eoc_token);
+
+  /// Module::now_ is private with SchedulerBase as its friend; friendship
+  /// does not extend to subclasses, so phase overrides stamp through this.
+  static void set_now(Module& m, Cycle c) noexcept { m.now_ = c; }
+
+  /// Switch every connection of this netlist between seq_cst (default)
+  /// and relaxed channel-state publication.  A single-threaded backend
+  /// drops the seq_cst store cost; must never be relaxed while a
+  /// concurrent resolver (ParallelScheduler) could touch the channels.
+  void set_relaxed_resolution(bool relaxed) noexcept;
 
   /// Record a channel resolution in the current thread's context.  When the
   /// resolution completes a transfer, the connection joins the dirty list

@@ -18,7 +18,7 @@
 
 namespace liberty::core {
 
-enum class SchedulerKind { Dynamic, Static, Parallel };
+enum class SchedulerKind { Dynamic, Static, Parallel, Compiled };
 
 /// A between-cycles image of one simulator: the cycle counter, the stop
 /// flag, and every module's save_state slots.  Snapshots are cheap (values
@@ -39,10 +39,22 @@ struct KernelSnapshot {
   }
 };
 
-/// Parse a scheduler name ("dyn"/"dynamic", "static", "par"/"parallel");
-/// throws ElaborationError on anything else.  Shared by lss_run, bench_util
-/// and any other front end exposing the scheduler knob.
+/// Parse a scheduler name ("dyn"/"dynamic", "static", "par"/"parallel",
+/// "compiled"); throws ElaborationError naming the valid spellings on
+/// anything else.  Shared by lss_run, bench_util and any other front end
+/// exposing the scheduler knob.
 [[nodiscard]] SchedulerKind scheduler_kind_from_name(std::string_view name);
+
+/// Factory seam for SchedulerKind::Compiled: the core library cannot depend
+/// on liberty_gen (gen depends on the component libraries, which depend on
+/// core), so the gen library registers its CompiledScheduler constructor
+/// here and Simulator looks it up.  Front ends that want the compiled
+/// backend link liberty_gen and call liberty::gen::ensure_registered()
+/// before constructing simulators.
+using CompiledSchedulerFactory =
+    std::unique_ptr<SchedulerBase> (*)(Netlist& netlist);
+void set_compiled_scheduler_factory(CompiledSchedulerFactory factory);
+[[nodiscard]] CompiledSchedulerFactory compiled_scheduler_factory();
 
 class Simulator {
  public:
@@ -50,20 +62,7 @@ class Simulator {
   /// std::thread::hardware_concurrency().
   explicit Simulator(Netlist& netlist,
                      SchedulerKind kind = SchedulerKind::Dynamic,
-                     unsigned threads = 0)
-      : netlist_(netlist) {
-    switch (kind) {
-      case SchedulerKind::Dynamic:
-        sched_ = std::make_unique<DynamicScheduler>(netlist);
-        break;
-      case SchedulerKind::Static:
-        sched_ = std::make_unique<StaticScheduler>(netlist);
-        break;
-      case SchedulerKind::Parallel:
-        sched_ = std::make_unique<ParallelScheduler>(netlist, threads);
-        break;
-    }
-  }
+                     unsigned threads = 0);
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;

@@ -252,23 +252,37 @@ void QuiescenceGate::build(const ScheduleGraph& graph, const OptPlan& plan,
   for (std::size_t i = 0; i < n_scc; ++i) {
     bool ok = true;
     bool all_const = true;
+    // Structural cost model: a replay only pays when it saves module
+    // handler work.  A driverless SCC (kernel-driven AutoAccept acks) is
+    // replayed at the same cost the kernel drive has, and an SCC fully
+    // covered by a fused chain is already resolved by one sweep that is
+    // strictly cheaper than per-channel replays — gating either is pure
+    // overhead (the passthrough-netlist -O2 regression).
+    bool any_driver = false;
+    bool all_chained = true;
     for (ChannelId ch : sccs[i]) {
       const ScheduleGraph::Node& n = nodes[ch];
       if (n.conn->has_transfer_gate()) {
         ok = false;
         break;
       }
-      if (n.driver != nullptr &&
-          (!plan.module_sleepable(n.driver->id()) ||
-           plan.module_elided(n.driver->id()))) {
-        ok = false;
-        break;
+      if (n.driver != nullptr) {
+        any_driver = true;
+        if (!plan.module_sleepable(n.driver->id()) ||
+            plan.module_elided(n.driver->id())) {
+          ok = false;
+          break;
+        }
       }
       if (ch >= plan.channel_const.size() || plan.channel_const[ch] == 0) {
         all_const = false;
       }
+      if (ch >= plan.chain_of_channel.size() ||
+          plan.chain_of_channel[ch] < 0) {
+        all_chained = false;
+      }
     }
-    if (ok && !all_const) candidate_[i] = 1;
+    if (ok && !all_const && any_driver && !all_chained) candidate_[i] = 1;
   }
 
   // Gateable modules may skip cycle_start/end_of_cycle while asleep, so
@@ -345,6 +359,7 @@ void QuiescenceGate::build(const ScheduleGraph& graph, const OptPlan& plan,
   eoc_stamp_.assign(n_mod, 0);
   scc_sleeps_.assign(n_scc, 0);
   scc_wakes_.assign(n_scc, 0);
+  audit_scc_sleeps_.assign(n_scc, 0);
 
   // Modules whose can_sleep() we sample each cycle: drivers of candidate
   // SCCs (replay eligibility) plus gateable modules that drive nothing
@@ -367,7 +382,7 @@ void QuiescenceGate::build(const ScheduleGraph& graph, const OptPlan& plan,
 }
 
 void QuiescenceGate::begin_cycle(Cycle cycle) {
-  if (!enabled_) return;
+  if (!enabled_ || suspended_) return;
   std::fill(slept_.begin(), slept_.end(), 0);
   for (Module* m : tracked_) {
     const ModuleId id = m->id();
@@ -431,9 +446,9 @@ void QuiescenceGate::replay(const SccInfo& si) {
   }
 }
 
-bool QuiescenceGate::try_sleep(std::uint32_t scc, Cycle cycle,
-                               std::vector<Module*>* woken) {
-  if (!enabled_ || candidate_[scc] == 0) return false;
+bool QuiescenceGate::try_sleep_slow(std::uint32_t scc, Cycle cycle,
+                                    std::vector<Module*>* woken) {
+  // enabled_/suspended_/candidate_ were already tested by the inline wrapper.
   SccInfo& si = info_[scc];
   const auto wake_drivers = [&] {
     for (Module* d : si.drivers) {
@@ -478,15 +493,15 @@ bool QuiescenceGate::try_sleep(std::uint32_t scc, Cycle cycle,
 
 void QuiescenceGate::mark_transfers(
     const std::vector<Connection*>& transferred, std::uint64_t token) {
-  if (!enabled_) return;
+  if (!enabled_ || suspended_) return;
   for (const Connection* c : transferred) {
     eoc_stamp_[c->producer()->id()] = token;
     eoc_stamp_[c->consumer()->id()] = token;
   }
 }
 
-bool QuiescenceGate::skip_end_of_cycle(const Module& m, std::uint64_t token) {
-  if (!enabled_) return false;
+bool QuiescenceGate::skip_end_of_cycle_slow(const Module& m,
+                                            std::uint64_t token) {
   const ModuleId id = m.id();
   if (asleep_[id].load(std::memory_order_relaxed) == 0) return false;
   if (eoc_stamp_[id] == token) return false;  // adjacent transfer: commit
@@ -494,23 +509,129 @@ bool QuiescenceGate::skip_end_of_cycle(const Module& m, std::uint64_t token) {
   return true;
 }
 
+void QuiescenceGate::retire_scc(std::uint32_t scc) {
+  candidate_[scc] = 0;
+  cache_valid_[scc] = 0;
+  ++retired_sccs_;
+  // The drivers may no longer sleep: a non-candidate SCC is resolved
+  // normally, which needs their cycle_start drives.  Clearing gateable_ is
+  // conservative for drivers shared with surviving SCCs; that sharing is
+  // rare and correctness beats the lost skip.
+  for (Module* d : info_[scc].drivers) {
+    gateable_[d->id()] = 0;
+    asleep_[d->id()].store(0, std::memory_order_relaxed);
+  }
+}
+
+void QuiescenceGate::clear_asleep() noexcept {
+  for (std::size_t i = 0; i < sleep_ok_.size(); ++i) {
+    asleep_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void QuiescenceGate::drop_caches() {
+  std::fill(sleep_ok_.begin(), sleep_ok_.end(), 0);
+  std::fill(cache_valid_.begin(), cache_valid_.end(), 0);
+  std::fill(slept_.begin(), slept_.end(), 0);
+  std::fill(attempt_at_.begin(), attempt_at_.end(), 0);
+  std::fill(backoff_.begin(), backoff_.end(), 0);
+  clear_asleep();
+}
+
 void QuiescenceGate::refresh(Cycle cycle) {
   if (!enabled_) return;
-  if (cycle >= next_audit_) {
+  if (calib_ != Calib::Done) {
+    const auto now = std::chrono::steady_clock::now();
+    if (!win_started_) {
+      win_started_ = true;
+      win_start_ = now;
+      win_end_ = cycle + kCalibPeriod;
+    } else if (cycle >= win_end_) {
+      const double secs = seconds_between(win_start_, now);
+      if (calib_ == Calib::GatedWindow) {
+        gated_seconds_ = secs;
+        // SCCs whose measured sleep ratio over the gated sample fell below
+        // 1/2 can never recoup their boundary-compare + replay + snapshot
+        // overhead; drop them before timing the ungated sample.
+        std::size_t remaining = 0;
+        for (std::uint32_t s : candidates_) {
+          if (candidate_[s] == 0) continue;
+          if (scc_sleeps_[s] * 2 < kCalibPeriod) {
+            retire_scc(s);
+          } else {
+            ++remaining;
+          }
+        }
+        if (remaining == 0) {
+          enabled_ = false;
+          clear_asleep();
+          return;
+        }
+        calib_ = Calib::UngatedWindow;
+        suspended_ = true;
+        clear_asleep();
+        win_start_ = now;
+        win_end_ = cycle + kCalibPeriod;
+        return;
+      }
+      // Ungated sample finished: keep the gate only when the gated window
+      // was measurably *faster* (at least a 2% win).  A marginal gate is
+      // dropped: its replay/snapshot machinery keeps costing every cycle
+      // for the rest of the run, while the calibration sample is short and
+      // noisy — the asymmetric risk says bail unless gating provably pays.
+      suspended_ = false;
+      calib_ = Calib::Done;
+      if (gated_seconds_ > secs * 0.98) {
+        enabled_ = false;
+        clear_asleep();
+        return;
+      }
+      // The suspended window left every cache and can_sleep sample stale;
+      // relearn from scratch and restart the audit clock.
+      drop_caches();
+      std::uint64_t total = 0;
+      for (std::uint32_t s : candidates_) {
+        if (candidate_[s] == 0) continue;
+        total += scc_sleeps_[s];
+        audit_scc_sleeps_[s] = scc_sleeps_[s];
+      }
+      sleeps_at_audit_ = total;
+      next_audit_ = cycle + kAuditPeriod;
+      zero_windows_ = 0;
+    }
+    if (suspended_) return;
+  }
+  if (calib_ == Calib::Done && cycle >= next_audit_) {
     std::uint64_t total = 0;
-    for (std::uint32_t s : candidates_) total += scc_sleeps_[s];
+    std::size_t remaining = 0;
+    for (std::uint32_t s : candidates_) {
+      if (candidate_[s] == 0) continue;
+      total += scc_sleeps_[s];
+      // Ongoing per-SCC sleep-ratio guard: workloads change phase, and an
+      // SCC that stopped sleeping at least half the time is now a net
+      // loss.  Retirement is permanent (never-slower beats sometimes-
+      // faster for an optimization that must not regress).
+      if ((scc_sleeps_[s] - audit_scc_sleeps_[s]) * 2 < kAuditPeriod) {
+        retire_scc(s);
+      } else {
+        audit_scc_sleeps_[s] = scc_sleeps_[s];
+        ++remaining;
+      }
+    }
     zero_windows_ = total == sleeps_at_audit_ ? zero_windows_ + 1 : 0;
     sleeps_at_audit_ = total;
     next_audit_ = cycle + kAuditPeriod;
-    if (zero_windows_ >= 2) {
+    if (zero_windows_ >= 2 || remaining == 0) {
       // Nothing here ever sleeps — retire.  Counters remain reported (they
       // read candidates_, not enabled_) and every asleep/candidate query
       // now short-circuits on enabled_.
       enabled_ = false;
+      clear_asleep();
       return;
     }
   }
   for (std::uint32_t s : candidates_) {
+    if (candidate_[s] == 0) continue;  // retired by the cost-model guard
     if (slept_[s] != 0) continue;  // cache is already this cycle's values
     // Backed-off SCCs re-snapshot on the cycle before their next attempt,
     // restoring the invariant that a consulted cache is exactly one cycle
@@ -538,14 +659,7 @@ void QuiescenceGate::refresh(Cycle cycle) {
 
 void QuiescenceGate::invalidate() {
   if (!enabled_) return;
-  std::fill(sleep_ok_.begin(), sleep_ok_.end(), 0);
-  std::fill(cache_valid_.begin(), cache_valid_.end(), 0);
-  std::fill(slept_.begin(), slept_.end(), 0);
-  std::fill(attempt_at_.begin(), attempt_at_.end(), 0);
-  std::fill(backoff_.begin(), backoff_.end(), 0);
-  for (std::size_t i = 0; i < sleep_ok_.size(); ++i) {
-    asleep_[i].store(0, std::memory_order_relaxed);
-  }
+  drop_caches();
 }
 
 void QuiescenceGate::visit_counters(const CounterVisitor& visit) const {
@@ -562,6 +676,7 @@ void QuiescenceGate::visit_counters(const CounterVisitor& visit) const {
   visit("opt.scc_wakes", wakes);
   visit("opt.replayed_resolutions", replayed);
   visit("opt.eoc_skips", eoc_skips_);
+  visit("opt.retired_sccs", retired_sccs_);
 }
 
 // ---------------------------------------------------------------------------
@@ -840,15 +955,7 @@ void SchedulerBase::run_cycle(Cycle cycle) {
     apply_consts();
   }
 
-  for (Module* m : module_tape_) {
-    m->now_ = cycle;
-    if (any_quarantined_ && quarantined_[m->id()] != 0) continue;
-    if (opt && (plan_->elided[m->id()] != 0 ||
-                gate_.module_asleep(m->id()))) {
-      continue;  // elided: dead logic; asleep: deferred (or replayed) start
-    }
-    m->cycle_start(cycle);
-  }
+  start_phase();
   if (probe != nullptr) end_phase(SchedPhase::CycleStart);
 
   resolve_cycle();
@@ -877,14 +984,7 @@ void SchedulerBase::run_cycle(Cycle cycle) {
   // pre-dedup here; duplicate marks are harmless.
   const std::uint64_t eoc_token = cycles_run_ + 1;
   if (opt) gate_.mark_transfers(cycle_transferred_, eoc_token);
-  for (Module* m : module_tape_) {
-    if (any_quarantined_ && quarantined_[m->id()] != 0) continue;
-    if (opt && (plan_->elided[m->id()] != 0 ||
-                gate_.skip_end_of_cycle(*m, eoc_token))) {
-      continue;
-    }
-    m->end_of_cycle();
-  }
+  update_phase(eoc_token);
   if (probe != nullptr) end_phase(SchedPhase::Update);
 
   // Commit transfers from the dirty list in canonical (connection id) order
@@ -917,6 +1017,36 @@ void SchedulerBase::run_cycle(Cycle cycle) {
     ctx.timing = false;
     probe->on_cycle_end(cycle);
   }
+}
+
+void SchedulerBase::start_phase() {
+  const bool opt = plan_ != nullptr;
+  const Cycle cycle = cycle_;
+  for (Module* m : module_tape_) {
+    m->now_ = cycle;
+    if (any_quarantined_ && quarantined_[m->id()] != 0) continue;
+    if (opt && (plan_->elided[m->id()] != 0 ||
+                gate_.module_asleep(m->id()))) {
+      continue;  // elided: dead logic; asleep: deferred (or replayed) start
+    }
+    m->cycle_start(cycle);
+  }
+}
+
+void SchedulerBase::update_phase(std::uint64_t eoc_token) {
+  const bool opt = plan_ != nullptr;
+  for (Module* m : module_tape_) {
+    if (any_quarantined_ && quarantined_[m->id()] != 0) continue;
+    if (opt && (plan_->elided[m->id()] != 0 ||
+                gate_.skip_end_of_cycle(*m, eoc_token))) {
+      continue;
+    }
+    m->end_of_cycle();
+  }
+}
+
+void SchedulerBase::set_relaxed_resolution(bool relaxed) noexcept {
+  for (Connection* c : conn_tape_) c->set_relaxed(relaxed);
 }
 
 // ---------------------------------------------------------------------------

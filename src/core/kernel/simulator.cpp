@@ -10,9 +10,46 @@ SchedulerKind scheduler_kind_from_name(std::string_view name) {
   if (name == "dyn" || name == "dynamic") return SchedulerKind::Dynamic;
   if (name == "static") return SchedulerKind::Static;
   if (name == "par" || name == "parallel") return SchedulerKind::Parallel;
-  throw liberty::ElaborationError("unknown scheduler kind '" +
-                                  std::string(name) +
-                                  "' (expected dyn|static|parallel)");
+  if (name == "comp" || name == "compiled") return SchedulerKind::Compiled;
+  throw liberty::ElaborationError(
+      "unknown scheduler kind '" + std::string(name) +
+      "' (valid: dyn|dynamic, static, par|parallel, comp|compiled)");
+}
+
+namespace {
+CompiledSchedulerFactory g_compiled_factory = nullptr;
+}  // namespace
+
+void set_compiled_scheduler_factory(CompiledSchedulerFactory factory) {
+  g_compiled_factory = factory;
+}
+
+CompiledSchedulerFactory compiled_scheduler_factory() {
+  return g_compiled_factory;
+}
+
+Simulator::Simulator(Netlist& netlist, SchedulerKind kind, unsigned threads)
+    : netlist_(netlist) {
+  switch (kind) {
+    case SchedulerKind::Dynamic:
+      sched_ = std::make_unique<DynamicScheduler>(netlist);
+      break;
+    case SchedulerKind::Static:
+      sched_ = std::make_unique<StaticScheduler>(netlist);
+      break;
+    case SchedulerKind::Parallel:
+      sched_ = std::make_unique<ParallelScheduler>(netlist, threads);
+      break;
+    case SchedulerKind::Compiled:
+      if (g_compiled_factory == nullptr) {
+        throw liberty::ElaborationError(
+            "compiled scheduler requested but no backend is registered: "
+            "link liberty_gen and call liberty::gen::ensure_registered() "
+            "before constructing the Simulator");
+      }
+      sched_ = g_compiled_factory(netlist);
+      break;
+  }
 }
 
 KernelSnapshot Simulator::snapshot() const {

@@ -1,0 +1,122 @@
+// Private to liberty_gen: the devirtualization universe.
+//
+// Maps stock PCL/CCL module classes to bytecode kinds.  classify() matches
+// by *exact* typeid — a user subclass of a stock module must keep its
+// virtual dispatch (it may override any hook), so it deliberately falls
+// through to Kind::Unknown and lowers to the CALL_VIRTUAL opcodes.
+#pragma once
+
+#include <typeinfo>
+
+#include "liberty/ccl/router.hpp"
+#include "liberty/ccl/traffic.hpp"
+#include "liberty/core/module.hpp"
+#include "liberty/gen/bytecode.hpp"
+#include "liberty/pcl/arbiter.hpp"
+#include "liberty/pcl/buffer.hpp"
+#include "liberty/pcl/delay.hpp"
+#include "liberty/pcl/memory_array.hpp"
+#include "liberty/pcl/misc.hpp"
+#include "liberty/pcl/queue.hpp"
+#include "liberty/pcl/routing.hpp"
+#include "liberty/pcl/sink.hpp"
+#include "liberty/pcl/source.hpp"
+
+namespace liberty::gen {
+
+// Every devirtualized kind (union of the per-phase lists in bytecode.hpp).
+#define LIBERTY_GEN_ALL_KINDS(X)                                          \
+  X(Source) X(Sink) X(Queue) X(Delay) X(Arbiter) X(Probe) X(FuncMap)   \
+  X(Tee) X(Mux) X(Demux) X(Crossbar) X(Buffer) X(MemoryArray)          \
+  X(Router) X(TrafficGen) X(TrafficSink)
+
+// Kind -> concrete class.
+#define LIBERTY_GEN_TYPE_Source liberty::pcl::Source
+#define LIBERTY_GEN_TYPE_Sink liberty::pcl::Sink
+#define LIBERTY_GEN_TYPE_Queue liberty::pcl::Queue
+#define LIBERTY_GEN_TYPE_Delay liberty::pcl::Delay
+#define LIBERTY_GEN_TYPE_Arbiter liberty::pcl::Arbiter
+#define LIBERTY_GEN_TYPE_Probe liberty::pcl::Probe
+#define LIBERTY_GEN_TYPE_FuncMap liberty::pcl::FuncMap
+#define LIBERTY_GEN_TYPE_Tee liberty::pcl::Tee
+#define LIBERTY_GEN_TYPE_Mux liberty::pcl::Mux
+#define LIBERTY_GEN_TYPE_Demux liberty::pcl::Demux
+#define LIBERTY_GEN_TYPE_Crossbar liberty::pcl::Crossbar
+#define LIBERTY_GEN_TYPE_Buffer liberty::pcl::Buffer
+#define LIBERTY_GEN_TYPE_MemoryArray liberty::pcl::MemoryArray
+#define LIBERTY_GEN_TYPE_Router liberty::ccl::Router
+#define LIBERTY_GEN_TYPE_TrafficGen liberty::ccl::TrafficGen
+#define LIBERTY_GEN_TYPE_TrafficSink liberty::ccl::TrafficSink
+#define LIBERTY_GEN_TYPE(K) LIBERTY_GEN_TYPE_##K
+
+enum class Kind : std::uint8_t {
+#define LIBERTY_GEN_KIND(K) K,
+  LIBERTY_GEN_ALL_KINDS(LIBERTY_GEN_KIND)
+#undef LIBERTY_GEN_KIND
+  Unknown,
+};
+
+[[nodiscard]] inline Kind classify(const liberty::core::Module& m) {
+  const std::type_info& t = typeid(m);
+#define LIBERTY_GEN_MATCH(K) \
+  if (t == typeid(LIBERTY_GEN_TYPE(K))) return Kind::K;
+  LIBERTY_GEN_ALL_KINDS(LIBERTY_GEN_MATCH)
+#undef LIBERTY_GEN_MATCH
+  return Kind::Unknown;
+}
+
+// Per-phase opcode of a kind; false when the kind does not override the
+// phase's hook (the base hook is an empty no-op -> no instruction at all).
+[[nodiscard]] inline bool start_op(Kind k, Op& op) noexcept {
+  switch (k) {
+#define LIBERTY_GEN_MAP(K) \
+  case Kind::K:            \
+    op = Op::Start##K;     \
+    return true;
+    LIBERTY_GEN_START_KINDS(LIBERTY_GEN_MAP)
+#undef LIBERTY_GEN_MAP
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] inline bool fwd_op(Kind k, Op& op) noexcept {
+  switch (k) {
+#define LIBERTY_GEN_MAP(K) \
+  case Kind::K:            \
+    op = Op::Fwd##K;       \
+    return true;
+    LIBERTY_GEN_REACT_KINDS(LIBERTY_GEN_MAP)
+#undef LIBERTY_GEN_MAP
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] inline bool bwd_op(Kind k, Op& op) noexcept {
+  switch (k) {
+#define LIBERTY_GEN_MAP(K) \
+  case Kind::K:            \
+    op = Op::Bwd##K;       \
+    return true;
+    LIBERTY_GEN_REACT_KINDS(LIBERTY_GEN_MAP)
+#undef LIBERTY_GEN_MAP
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] inline bool end_op(Kind k, Op& op) noexcept {
+  switch (k) {
+#define LIBERTY_GEN_MAP(K) \
+  case Kind::K:            \
+    op = Op::End##K;       \
+    return true;
+    LIBERTY_GEN_COMMIT_KINDS(LIBERTY_GEN_MAP)
+#undef LIBERTY_GEN_MAP
+    default:
+      return false;
+  }
+}
+
+}  // namespace liberty::gen

@@ -1,0 +1,87 @@
+// liberty::gen — compiled netlist execution.
+//
+// CompiledScheduler lowers the elaborated netlist to the bytecode of
+// bytecode.hpp once at construction and thereafter runs each cycle by
+// executing the three tapes.  It derives from AnalyzedScheduler so the
+// schedule graph, SCC fixed-point iteration (run_scc), fused-chain sweeps,
+// quiescence gate, fault seams and the generic cleanup endgame are shared
+// with the static/parallel schedulers — the tapes replace only the per-cycle
+// interpretation of that structure (virtual hook dispatch, per-node driver
+// lookups, plan-fact branches), which is where the steady-state time goes.
+//
+// Semantics: the resolve tape mirrors StaticScheduler::resolve_cycle exactly
+// (same SCC order, same react-then-default policy per node, same cleanup),
+// so the compiled scheduler inherits the static scheduler's bit-identity
+// with the dynamic baseline.  Because exactly one thread touches the
+// channels, the constructor also switches the netlist's connections to
+// relaxed channel publication (restored on destruction).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "liberty/core/scheduler.hpp"
+#include "liberty/core/simulator.hpp"
+#include "liberty/gen/bytecode.hpp"
+
+namespace liberty::gen {
+
+class CompiledScheduler final : public liberty::core::AnalyzedScheduler {
+ public:
+  explicit CompiledScheduler(liberty::core::Netlist& netlist);
+  ~CompiledScheduler() override;
+
+  [[nodiscard]] std::string_view kind_name() const override {
+    return "compiled";
+  }
+
+  [[nodiscard]] const Program& program() const noexcept { return program_; }
+
+  /// Human-readable listing of the lowered program, one instruction per
+  /// line with symbolic operands (lss_run --dump-bytecode; golden tests).
+  [[nodiscard]] std::string disassemble() const;
+
+  void visit_counters(const CounterVisitor& visit) const override;
+
+ protected:
+  void start_phase() override;
+  void resolve_cycle() override;
+  void update_phase(std::uint64_t eoc_token) override;
+
+ private:
+  void lower();
+  void exec(const std::vector<Instr>& tape);
+
+  Program program_;
+  std::uint64_t eoc_token_ = 0;  // latched for the commit tape's EndGated
+
+  // True when the current tapes carry gate forms (TrySleep / StartGated /
+  // EndGated).  When the gate's measured cost-model guard later turns the
+  // whole gate off, those forms become dead weight on every remaining
+  // cycle, so start_phase re-lowers once against the now-disabled gate —
+  // recompiling is how a compiled backend reacts to changed facts.
+  // (Per-SCC retirement with the gate still alive does NOT re-lower: a
+  // retired SCC's TrySleep degrades to one inline test, and surviving
+  // SCCs still need their guards.)
+  bool gated_program_ = false;
+
+  // True when the resolve tape provably resolves every channel on its own
+  // (no RunScc ops: multi-node SCC fixed points are the one construct whose
+  // convergence loop needs the per-resolution hook counter).  In that mode
+  // the constructor uninstalls the ResolveHooks — dropping a virtual call
+  // plus thread-local bookkeeping from every channel resolution — and
+  // resolve_cycle reconstructs the counters and the transferred dirty list
+  // in one flat sweep after the tape halts, skipping the generic cleanup
+  // endgame as well.  The checked-kernel audit still verifies full
+  // resolution every cycle, so a lowering bug is loud, not silent.
+  bool fast_resolve_ = false;
+};
+
+/// Make SchedulerKind::Compiled constructible: installs this backend's
+/// factory into liberty_core's registration seam.  Idempotent; front ends
+/// call it explicitly before building a Simulator because core cannot link
+/// against gen (gen depends on the component libraries) and static-library
+/// global initializers are not reliably pulled in.
+void ensure_registered();
+
+}  // namespace liberty::gen

@@ -53,7 +53,10 @@ void Arbiter::react() {
       if (in_.has_data(i)) requesters.push_back(i);
     }
     winner_ = select(requesters);
-    if (requesters.size() > 1) stats().counter("conflicts").inc();
+    if (requesters.size() > 1) {
+      stats().bind(conflicts_stat_, "conflicts");
+      conflicts_stat_->inc();
+    }
     if (winner_ >= 0) {
       out_.send(in_.data(static_cast<std::size_t>(winner_)));
     } else {
@@ -78,8 +81,13 @@ void Arbiter::react() {
 void Arbiter::end_of_cycle() {
   if (winner_ >= 0 && out_.transferred()) {
     const auto w = static_cast<std::size_t>(winner_);
-    stats().counter("grants").inc();
-    stats().counter("grants_in" + std::to_string(w)).inc();
+    stats().bind(grants_stat_, "grants");
+    grants_stat_->inc();
+    if (grants_in_stat_.size() != in_.width()) {
+      grants_in_stat_.resize(in_.width(), nullptr);
+    }
+    stats().bind(grants_in_stat_[w], "grants_in" + std::to_string(w));
+    grants_in_stat_[w]->inc();
     last_grant_[w] = now() + 1;
     rr_next_ = (w + 1) % in_.width();
   }

@@ -29,7 +29,8 @@ Buffer::Buffer(const std::string& name, const Params& params)
 }
 
 void Buffer::cycle_start(Cycle) {
-  stats().accumulator("occupancy").add(static_cast<double>(entries_.size()));
+  stats().bind(occupancy_stat_, "occupancy");
+  occupancy_stat_->add(static_cast<double>(entries_.size()));
 
   // Offer ready entries to output endpoints, oldest first.
   issued_idx_.clear();
@@ -40,7 +41,8 @@ void Buffer::cycle_start(Cycle) {
       issued_idx_.push_back(i);
       ++ep;
     } else if (fifo_) {
-      stats().counter("issue_stalls").inc();
+      stats().bind(issue_stalls_stat_, "issue_stalls");
+      issue_stalls_stat_->inc();
       break;  // in-order: a stalled head blocks everything behind it
     }
   }
@@ -65,13 +67,15 @@ void Buffer::end_of_cycle() {
     if (out_.transferred(k)) {
       entries_.erase(entries_.begin() +
                      static_cast<std::ptrdiff_t>(issued_idx_[k]));
-      stats().counter("issued").inc();
+      stats().bind(issued_stat_, "issued");
+      issued_stat_->inc();
     }
   }
   for (std::size_t i = 0; i < in_.width(); ++i) {
     if (in_.transferred(i)) {
       entries_.push_back(in_.data(i));
-      stats().counter("inserted").inc();
+      stats().bind(inserted_stat_, "inserted");
+      inserted_stat_->inc();
     }
   }
   if (entries_.size() > capacity_) {

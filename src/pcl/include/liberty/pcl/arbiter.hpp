@@ -44,6 +44,11 @@ class Arbiter : public liberty::core::Module {
   std::vector<std::uint64_t> last_grant_;  // for lru
   int winner_ = -2;                        // -2 undecided, -1 none
   bool losers_nacked_ = false;
+
+  // Resolved-once stat handles (see StatSet::bind).
+  liberty::Counter* grants_stat_ = nullptr;
+  liberty::Counter* conflicts_stat_ = nullptr;
+  std::vector<liberty::Counter*> grants_in_stat_;  // indexed by input
 };
 
 }  // namespace liberty::pcl

@@ -72,6 +72,12 @@ class Buffer : public liberty::core::Module {
   ReadyFn ready_;
   std::deque<liberty::Value> entries_;
   std::vector<std::size_t> issued_idx_;  // entry index offered per out ep
+
+  // Resolved-once stat handles (see StatSet::bind).
+  liberty::Accumulator* occupancy_stat_ = nullptr;
+  liberty::Counter* issued_stat_ = nullptr;
+  liberty::Counter* inserted_stat_ = nullptr;
+  liberty::Counter* issue_stalls_stat_ = nullptr;
 };
 
 }  // namespace liberty::pcl

@@ -59,6 +59,11 @@ class MemoryArray : public liberty::core::Module {
   std::size_t ports_;
   std::unordered_map<std::uint64_t, std::int64_t> store_;
   std::deque<Pending> pending_;
+
+  // Resolved-once stat handles (see StatSet::bind).
+  liberty::Counter* reads_stat_ = nullptr;
+  liberty::Counter* writes_stat_ = nullptr;
+  liberty::Counter* busy_stalls_stat_ = nullptr;
 };
 
 }  // namespace liberty::pcl

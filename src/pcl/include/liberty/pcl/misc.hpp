@@ -38,6 +38,7 @@ class Probe : public liberty::core::Module {
   liberty::core::Port& out_;
   Observer obs_;
   std::uint64_t count_ = 0;
+  liberty::Counter* items_stat_ = nullptr;  // resolved-once stat handle
 };
 
 /// Combinational value transform: out = fn(in).  The transform is an

@@ -43,6 +43,12 @@ class Queue : public liberty::core::Module {
   std::size_t depth_;
   bool bypass_ack_;
   std::deque<liberty::Value> items_;
+
+  // Resolved-once stat handles (see StatSet::bind).
+  liberty::Accumulator* occupancy_stat_ = nullptr;
+  liberty::Counter* enqueued_stat_ = nullptr;
+  liberty::Counter* dequeued_stat_ = nullptr;
+  liberty::Counter* full_stalls_stat_ = nullptr;
 };
 
 }  // namespace liberty::pcl

@@ -33,6 +33,7 @@ class Tee : public liberty::core::Module {
   liberty::core::Port& in_;
   liberty::core::Port& out_;
   std::vector<bool> delivered_;  // per-branch: current item already taken
+  liberty::Counter* broadcasts_stat_ = nullptr;  // resolved-once stat handle
 };
 
 /// Selects one data input according to the integer on the `sel` port.
@@ -102,6 +103,10 @@ class Crossbar : public liberty::core::Module {
   Selector selector_;
   std::vector<std::size_t> rr_;      // per-output rotation pointer
   std::vector<int> grant_;           // per-output granted input, -1 none
+
+  // Resolved-once stat handles (see StatSet::bind).
+  liberty::Counter* conflicts_stat_ = nullptr;
+  liberty::Counter* xfers_stat_ = nullptr;
   bool decided_ = false;
 };
 

@@ -42,6 +42,10 @@ class Sink : public liberty::core::Module {
   std::uint64_t stop_after_;
   std::uint64_t consumed_ = 0;
   ConsumeHook hook_;
+
+  // Resolved-once stat handles (see StatSet::bind).
+  liberty::Counter* consumed_stat_ = nullptr;
+  liberty::Histogram* latency_stat_ = nullptr;
 };
 
 }  // namespace liberty::pcl

@@ -69,6 +69,11 @@ class Source : public liberty::core::Module {
   std::deque<liberty::Value> backlog_;
   std::uint64_t generated_ = 0;
   std::uint64_t emitted_ = 0;
+
+  // Resolved-once stat handles (see StatSet::bind).
+  liberty::Accumulator* backlog_stat_ = nullptr;
+  liberty::Counter* emitted_stat_ = nullptr;
+  liberty::Counter* dropped_stat_ = nullptr;
 };
 
 }  // namespace liberty::pcl

@@ -46,7 +46,8 @@ void MemoryArray::cycle_start(Cycle c) {
       --budget;
     } else {
       req_.nack(i);
-      stats().counter("busy_stalls").inc();
+      stats().bind(busy_stalls_stat_, "busy_stalls");
+      busy_stalls_stat_->inc();
     }
   }
 }
@@ -62,10 +63,12 @@ void MemoryArray::end_of_cycle() {
     std::int64_t out_data = 0;
     if (r->op == MemReq::Op::Read) {
       out_data = peek(r->addr);
-      stats().counter("reads").inc();
+      stats().bind(reads_stat_, "reads");
+      reads_stat_->inc();
     } else {
       store_[r->addr] = r->data;
-      stats().counter("writes").inc();
+      stats().bind(writes_stat_, "writes");
+      writes_stat_->inc();
     }
     pending_.push_back(Pending{
         liberty::Value::make<MemResp>(r->tag, out_data,

@@ -41,7 +41,8 @@ void Probe::react() {
 void Probe::end_of_cycle() {
   if (in_.transferred()) {
     ++count_;
-    stats().counter("items").inc();
+    stats().bind(items_stat_, "items");
+    items_stat_->inc();
     if (obs_) obs_(in_.data(), now());
   }
 }

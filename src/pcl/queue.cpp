@@ -22,7 +22,8 @@ Queue::Queue(const std::string& name, const Params& params)
 }
 
 void Queue::cycle_start(Cycle) {
-  stats().accumulator("occupancy").add(static_cast<double>(items_.size()));
+  stats().bind(occupancy_stat_, "occupancy");
+  occupancy_stat_->add(static_cast<double>(items_.size()));
   if (!items_.empty()) {
     out_.send(items_.front());
   } else {
@@ -32,7 +33,8 @@ void Queue::cycle_start(Cycle) {
     in_.ack();
   } else if (!bypass_ack_) {
     in_.nack();
-    stats().counter("full_stalls").inc();
+    stats().bind(full_stalls_stat_, "full_stalls");
+    full_stalls_stat_->inc();
   }
   // When full with bypass_ack, the input ack resolves in react() once the
   // output ack is known.
@@ -44,7 +46,8 @@ void Queue::react() {
       in_.ack();  // head drains this cycle; its slot is reusable
     } else {
       in_.nack();
-      stats().counter("full_stalls").inc();
+      stats().bind(full_stalls_stat_, "full_stalls");
+      full_stalls_stat_->inc();
     }
   }
 }
@@ -52,11 +55,13 @@ void Queue::react() {
 void Queue::end_of_cycle() {
   if (out_.transferred()) {
     items_.pop_front();
-    stats().counter("dequeued").inc();
+    stats().bind(dequeued_stat_, "dequeued");
+    dequeued_stat_->inc();
   }
   if (in_.transferred()) {
     items_.push_back(in_.data());
-    stats().counter("enqueued").inc();
+    stats().bind(enqueued_stat_, "enqueued");
+    enqueued_stat_->inc();
   }
 }
 

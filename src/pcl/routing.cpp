@@ -64,7 +64,8 @@ void Tee::react() {
 void Tee::end_of_cycle() {
   if (in_.transferred()) {
     // Broadcast complete: every branch has the item.
-    stats().counter("broadcasts").inc();
+    stats().bind(broadcasts_stat_, "broadcasts");
+    broadcasts_stat_->inc();
     delivered_.assign(out_.width(), false);
     return;
   }
@@ -281,7 +282,10 @@ void Crossbar::react() {
         out_.idle(o);
         continue;
       }
-      if (req.size() > 1) stats().counter("conflicts").inc();
+      if (req.size() > 1) {
+        stats().bind(conflicts_stat_, "conflicts");
+        conflicts_stat_->inc();
+      }
       // Round-robin among the requesters of this output.
       std::size_t win = req.front();
       for (const std::size_t i : req) {
@@ -319,7 +323,8 @@ void Crossbar::react() {
 void Crossbar::end_of_cycle() {
   for (std::size_t o = 0; o < out_.width(); ++o) {
     if (grant_[o] >= 0 && out_.transferred(o)) {
-      stats().counter("xfers").inc();
+      stats().bind(xfers_stat_, "xfers");
+      xfers_stat_->inc();
       rr_[o] = (static_cast<std::size_t>(grant_[o]) + 1) % in_.width();
     }
   }

@@ -19,11 +19,11 @@ void Sink::end_of_cycle() {
     if (!in_.transferred(i)) continue;
     const liberty::Value& v = in_.data(i);
     ++consumed_;
-    stats().counter("consumed").inc();
+    stats().bind(consumed_stat_, "consumed");
+    consumed_stat_->inc();
     if (auto stamped = v.try_as<Stamped>()) {
-      stats()
-          .histogram("latency", /*buckets=*/256, /*width=*/1.0)
-          .add(static_cast<double>(now() - stamped->born));
+      stats().bind(latency_stat_, "latency", /*buckets=*/256, /*width=*/1.0);
+      latency_stat_->add(static_cast<double>(now() - stamped->born));
     }
     if (hook_) hook_(v, now());
   }

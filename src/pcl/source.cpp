@@ -40,6 +40,7 @@ liberty::Value Source::make_value(std::uint64_t seq) {
 
 bool Source::arrival_now(Cycle c) {
   if (c < start_) return false;
+  if (period_ == 1) return true;  // the common case, minus the division
   if (period_ != 0) return (c - start_) % period_ == 0;
   return rng_.chance(rate_);
 }
@@ -51,12 +52,14 @@ void Source::cycle_start(Cycle c) {
     if (stamp_) v = liberty::Value::make<Stamped>(std::move(v), c);
     ++generated_;
     if (queue_depth_ != 0 && backlog_.size() >= queue_depth_) {
-      stats().counter("dropped").inc();
+      stats().bind(dropped_stat_, "dropped");
+      dropped_stat_->inc();
     } else {
       backlog_.push_back(std::move(v));
     }
   }
-  stats().accumulator("backlog").add(static_cast<double>(backlog_.size()));
+  stats().bind(backlog_stat_, "backlog");
+  backlog_stat_->add(static_cast<double>(backlog_.size()));
   if (!backlog_.empty()) {
     out_.send(backlog_.front());
   } else {
@@ -68,7 +71,8 @@ void Source::end_of_cycle() {
   if (out_.transferred()) {
     backlog_.pop_front();
     ++emitted_;
-    stats().counter("emitted").inc();
+    stats().bind(emitted_stat_, "emitted");
+    emitted_stat_->inc();
   }
 }
 

@@ -116,6 +116,23 @@ class StatSet {
   [[nodiscard]] const std::map<std::string, Counter>& counters() const {
     return counters_;
   }
+
+  /// Resolve-once handles for hot-path updates.  `counter()` et al. walk a
+  /// string-keyed map on every call; modules that bump the same statistic
+  /// every cycle cache the returned pointer instead.  Map nodes are stable
+  /// for the StatSet's lifetime, so the pointer never dangles.  Binding
+  /// happens on first *use* (not at construction) so the entry appears in
+  /// dumps at exactly the same point as with uncached lookups.
+  void bind(Counter*& slot, const std::string& name) {
+    if (slot == nullptr) slot = &counter(name);
+  }
+  void bind(Accumulator*& slot, const std::string& name) {
+    if (slot == nullptr) slot = &accumulator(name);
+  }
+  void bind(Histogram*& slot, const std::string& name,
+            std::size_t buckets = 64, double width = 1.0) {
+    if (slot == nullptr) slot = &histogram(name, buckets, width);
+  }
   [[nodiscard]] const std::map<std::string, Accumulator>& accumulators()
       const {
     return accs_;

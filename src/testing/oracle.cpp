@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "liberty/core/state.hpp"
+#include "liberty/gen/compiled_scheduler.hpp"
 #include "liberty/obs/profiler.hpp"
 #include "liberty/opt/optimizer.hpp"
 #include "liberty/resil/injector.hpp"
@@ -93,6 +94,7 @@ std::string kind_name(SchedulerKind kind) {
     case SchedulerKind::Dynamic: return "dynamic";
     case SchedulerKind::Static: return "static";
     case SchedulerKind::Parallel: return "parallel";
+    case SchedulerKind::Compiled: return "compiled";
   }
   return "?";
 }
@@ -224,12 +226,18 @@ std::string OracleResult::report() const {
 OracleResult run_oracle(const NetSpec& spec,
                         const liberty::core::ModuleRegistry& registry,
                         const OracleConfig& config) {
+  // The compiled backend registers through a seam (core cannot link gen);
+  // doing it here covers every oracle user unconditionally.
+  liberty::gen::ensure_registered();
+
   std::vector<Candidate> candidates = config.candidates;
   if (candidates.empty()) {
     candidates = {Candidate{SchedulerKind::Static, 0},
                   Candidate{SchedulerKind::Parallel, 1},
                   Candidate{SchedulerKind::Parallel, 2},
-                  Candidate{SchedulerKind::Parallel, 8}};
+                  Candidate{SchedulerKind::Parallel, 8},
+                  Candidate{SchedulerKind::Compiled, 0},
+                  Candidate{SchedulerKind::Compiled, 0, /*opt_level=*/2}};
   }
 
   const Cycle every =

@@ -1,7 +1,8 @@
 // The long differential sweep: 500 fuzzed netlists, each run under the
-// dynamic reference plus static and parallel(1,2,8) candidates — and then
-// again with dynamic/static/parallel(2) at optimizer level 2 — requiring
-// bit-identical transfers, state digests, and statistics.  Carries the
+// dynamic reference plus static, parallel(1,2,8) and compiled candidates —
+// and then again with dynamic/static/parallel(2)/compiled at optimizer
+// level 2 — requiring bit-identical transfers, state digests, and
+// statistics.  Carries the
 // `fuzz` CTest label so it can be targeted (or excluded) with `ctest -L
 // fuzz` / `ctest -LE fuzz`.
 #include <gtest/gtest.h>
@@ -27,9 +28,11 @@ TEST(FuzzStress, FiveHundredSeedsZeroDivergence) {
       Candidate{SchedulerKind::Parallel, 1},
       Candidate{SchedulerKind::Parallel, 2},
       Candidate{SchedulerKind::Parallel, 8},
+      Candidate{SchedulerKind::Compiled, 0},
       Candidate{SchedulerKind::Dynamic, 0, /*opt_level=*/2},
       Candidate{SchedulerKind::Static, 0, /*opt_level=*/2},
       Candidate{SchedulerKind::Parallel, 2, /*opt_level=*/2},
+      Candidate{SchedulerKind::Compiled, 0, /*opt_level=*/2},
   };
   for (std::uint64_t seed = 1; seed <= 500; ++seed) {
     const liberty::testing::NetSpec spec =

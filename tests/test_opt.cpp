@@ -356,7 +356,9 @@ std::vector<Candidate> optimized_battery() {
           Candidate{SchedulerKind::Static, 0, 1},
           Candidate{SchedulerKind::Static, 0, 2},
           Candidate{SchedulerKind::Parallel, 1, 2},
-          Candidate{SchedulerKind::Parallel, 4, 2}};
+          Candidate{SchedulerKind::Parallel, 4, 2},
+          Candidate{SchedulerKind::Compiled, 0, 1},
+          Candidate{SchedulerKind::Compiled, 0, 2}};
 }
 
 TEST(OptOracle, OptimizedSchedulersMatchUnoptimizedReference) {

@@ -439,6 +439,7 @@ int main(int argc, char** argv) {
         Candidate{SchedulerKind::Parallel, 1},
         Candidate{SchedulerKind::Parallel, 2},
         Candidate{SchedulerKind::Parallel, 8},
+        Candidate{SchedulerKind::Compiled, 0},
     };
     if (opt.opt_level > 0 && opt.fault_plan == nullptr) {
       opt.oracle.candidates.push_back(
@@ -449,6 +450,8 @@ int main(int argc, char** argv) {
           Candidate{SchedulerKind::Parallel, 2, opt.opt_level});
       opt.oracle.candidates.push_back(
           Candidate{SchedulerKind::Parallel, 8, opt.opt_level});
+      opt.oracle.candidates.push_back(
+          Candidate{SchedulerKind::Compiled, 0, opt.opt_level});
     }
   }
 
