@@ -125,6 +125,41 @@ if [ "$clean_digest" != "$recovered_digest" ]; then
 fi
 echo "resilience smoke ok: detected, rolled back, $recovered_digest"
 
+# Rack-scenario smoke: the flagship full-system scenario (docs/scenarios.md)
+# must land on identical trace + state digests under the dynamic and
+# compiled schedulers, and its metrics export must carry the rack.*
+# aggregates in the documented liberty.metrics schema.
+echo "=== rack scenario smoke ==="
+rack_args=(--cols 2 --rows 1 --cores 1 --no-ooo --requests 2 --cycles 3000
+  --quiet --digest)
+rack_dyn="$(./build/examples/rack_sim "${rack_args[@]}" --scheduler dyn \
+  | grep '^digest:')"
+rack_comp="$(./build/examples/rack_sim "${rack_args[@]}" --scheduler compiled \
+  --metrics "$smoke_dir/rack-metrics.json" | grep '^digest:')"
+if [ "$rack_dyn" != "$rack_comp" ]; then
+  echo "rack scenario diverged between dynamic and compiled:" >&2
+  echo "  dynamic:  $rack_dyn" >&2
+  echo "  compiled: $rack_comp" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$smoke_dir/rack-metrics.json" <<'PY'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m.get("schema") == "liberty.metrics", m.get("schema")
+assert m["counters"]["rack.requests_completed"] > 0, "no requests completed"
+lat = m["summaries"]["rack.latency"]
+for q in ("p50", "p95", "p99"):
+    assert q in lat, "rack.latency missing " + q
+for s in ("rack.throughput_rpkc", "rack.router_total_pj",
+          "rack.peak_temperature_c"):
+    assert s in m["scalars"], "missing scalar " + s
+print("rack smoke ok: %d requests, p99=%g cycles"
+      % (m["counters"]["rack.requests_completed"], lat["p99"]))
+PY
+fi
+echo "rack scenario smoke ok: $rack_dyn"
+
 echo "=== release tests ==="
 if [ "$quick" -eq 1 ]; then
   ctest --test-dir build --output-on-failure -j "$jobs" -LE fuzz

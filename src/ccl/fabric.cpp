@@ -66,6 +66,24 @@ void Link::declare_deps(Deps& deps) const {
   deps.state_only(in_);
 }
 
+void Link::save_state(liberty::core::StateWriter& w) const {
+  w.put_size(entries_.size());
+  for (const Entry& e : entries_) {
+    w.put(e.value);
+    w.put_u64(e.ready);
+  }
+}
+
+void Link::load_state(liberty::core::StateReader& r) {
+  entries_.clear();
+  const std::size_t n = r.get_size();
+  for (std::size_t i = 0; i < n; ++i) {
+    liberty::Value v = r.get();
+    const Cycle ready = r.get_u64();
+    entries_.push_back(Entry{std::move(v), ready});
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Bus
 // ---------------------------------------------------------------------------
@@ -173,6 +191,37 @@ void Bus::end_of_cycle() {
 void Bus::declare_deps(Deps& deps) const {
   deps.state_only(out_);
   deps.depends(in_, {liberty::core::fwd(in_)});
+}
+
+void Bus::save_state(liberty::core::StateWriter& w) const {
+  // winner_/decided_ are per-cycle scratch (reset in cycle_start); the
+  // persistent state is the arbitration pointer and the in-flight
+  // transaction, whose Value only exists while the bus is busy.
+  w.put_size(rr_);
+  w.put_bool(busy_);
+  if (busy_) {
+    w.put(current_);
+    w.put_u64(deliver_at_);
+    for (std::size_t o = 0; o < delivered_.size(); ++o) {
+      w.put_bool(delivered_[o]);
+    }
+  }
+}
+
+void Bus::load_state(liberty::core::StateReader& r) {
+  rr_ = r.get_size();
+  busy_ = r.get_bool();
+  delivered_.assign(out_.width(), false);
+  if (busy_) {
+    current_ = r.get();
+    deliver_at_ = r.get_u64();
+    for (std::size_t o = 0; o < delivered_.size(); ++o) {
+      delivered_[o] = r.get_bool();
+    }
+  } else {
+    current_ = liberty::Value();
+    deliver_at_ = 0;
+  }
 }
 
 }  // namespace liberty::ccl

@@ -55,6 +55,8 @@ class Router : public liberty::core::Module {
   void react() override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   /// Algorithmic parameter: replace the routing function.
   void set_route_fn(RouteFn fn) { route_fn_ = std::move(fn); }

@@ -201,6 +201,42 @@ void Router::end_of_cycle() {
   }
 }
 
+void Router::save_state(liberty::core::StateWriter& w) const {
+  w.put_size(buffers_.size());
+  for (const auto& q : buffers_) {
+    w.put_size(q.size());
+    for (const Entry& e : q) {
+      w.put(e.value);
+      w.put_size(e.out_port);
+      w.put_u64(e.ready);
+    }
+  }
+  for (const std::size_t p : last_route_) w.put_size(p);
+  for (const std::size_t p : rr_) w.put_size(p);
+  for (const int p : out_lock_) w.put_i64(p);
+}
+
+void Router::load_state(liberty::core::StateReader& r) {
+  const std::size_t bufs = r.get_size();
+  if (bufs != buffers_.size()) {
+    throw liberty::SimulationError("ccl.router '" + name() +
+                                   "': snapshot buffer count mismatch");
+  }
+  for (auto& q : buffers_) {
+    q.clear();
+    const std::size_t n = r.get_size();
+    for (std::size_t i = 0; i < n; ++i) {
+      liberty::Value v = r.get();
+      const std::size_t out_port = r.get_size();
+      const Cycle ready = r.get_u64();
+      q.push_back(Entry{std::move(v), out_port, ready});
+    }
+  }
+  for (auto& p : last_route_) p = r.get_size();
+  for (auto& p : rr_) p = r.get_size();
+  for (auto& p : out_lock_) p = static_cast<int>(r.get_i64());
+}
+
 void Router::declare_deps(Deps& deps) const {
   deps.state_only(out_);
   deps.depends(in_, {liberty::core::fwd(in_)});

@@ -1,0 +1,39 @@
+// Memory-mapped I/O interfaces: the library-neutral seam between a
+// processor-like module that decodes addresses (an MmioHost) and a device
+// module that exposes a register file (an MmioDevice).
+//
+// Concrete libraries already speak this protocol informally — the UPL's
+// SimpleCpu routes address ranges to callbacks and the NIL's NicAssist
+// exposes mmio_read/mmio_write — but the coupling used to be programmatic
+// (build_programmable_nic wiring lambdas), which a rebuildable NetSpec
+// cannot express.  These two interfaces give elaboration a declarative
+// form: "bind device D into host H at [base, base+size)".  MMIO accesses
+// complete inline within the host's cycle; they are architectural state
+// transitions of the two modules, not channel transfers, so they need no
+// scheduler involvement and remain bit-identical under every scheduler.
+#pragma once
+
+#include <cstdint>
+
+namespace liberty::core {
+
+/// A register-file endpoint addressable through a host's address decode.
+/// Offsets are register indexes relative to the binding's base address.
+class MmioDevice {
+ public:
+  virtual ~MmioDevice() = default;
+  virtual std::int64_t mmio_read(std::uint64_t offset) = 0;
+  virtual void mmio_write(std::uint64_t offset, std::int64_t value) = 0;
+};
+
+/// A module that decodes memory addresses and can divert a range of them
+/// to an MmioDevice.  The device reference must outlive the host (both are
+/// owned by the same Netlist, so elaboration-time binding is safe).
+class MmioHost {
+ public:
+  virtual ~MmioHost() = default;
+  virtual void attach_mmio(std::uint64_t base, std::uint64_t size,
+                           MmioDevice& device) = 0;
+};
+
+}  // namespace liberty::core

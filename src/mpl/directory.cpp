@@ -1,5 +1,9 @@
 #include "liberty/mpl/directory.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "liberty/pcl/payloads.hpp"
 #include "liberty/support/error.hpp"
 
@@ -190,6 +194,111 @@ void DirectoryCtl::declare_deps(Deps& deps) const {
   deps.state_only(msg_out_);
 }
 
+void DirectoryCtl::save_state(liberty::core::StateWriter& w) const {
+  // Every map below is unordered; serialize sorted by key so equal states
+  // digest identically regardless of insertion history (see MemoryArray).
+  std::vector<std::pair<std::uint64_t, std::int64_t>> cells(store_.begin(),
+                                                            store_.end());
+  std::sort(cells.begin(), cells.end());
+  w.put_size(cells.size());
+  for (const auto& [addr, data] : cells) {
+    w.put_u64(addr);
+    w.put_i64(data);
+  }
+
+  std::vector<std::uint64_t> lines;
+  lines.reserve(dir_.size());
+  for (const auto& [line, entry] : dir_) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  w.put_size(lines.size());
+  for (const std::uint64_t line : lines) {
+    const DirEntry& e = dir_.at(line);
+    w.put_u64(line);
+    w.put_u64(static_cast<std::uint64_t>(e.state));
+    w.put_size(e.sharers.size());
+    for (const std::size_t s : e.sharers) w.put_size(s);
+    w.put_size(e.owner);
+  }
+
+  lines.clear();
+  for (const auto& [line, txn] : busy_) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  w.put_size(lines.size());
+  for (const std::uint64_t line : lines) {
+    const Transaction& t = busy_.at(line);
+    w.put_u64(line);
+    w.put_bool(t.is_getx);
+    w.put_size(t.requester);
+    w.put_size(t.pending_acks);
+    w.put_bool(t.waiting_fetch);
+  }
+
+  lines.clear();
+  for (const auto& [line, q] : waiting_) {
+    if (!q.empty()) lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  w.put_size(lines.size());
+  for (const std::uint64_t line : lines) {
+    const auto& q = waiting_.at(line);
+    w.put_u64(line);
+    w.put_size(q.size());
+    for (const auto& v : q) w.put(v);
+  }
+
+  w.put_size(outq_.size());
+  for (const auto& v : outq_) w.put(v);
+  for (const liberty::core::Cycle c : out_ready_) w.put_u64(c);
+}
+
+void DirectoryCtl::load_state(liberty::core::StateReader& r) {
+  store_.clear();
+  const std::size_t cells = r.get_size();
+  for (std::size_t i = 0; i < cells; ++i) {
+    const std::uint64_t addr = r.get_u64();
+    store_[addr] = r.get_i64();
+  }
+
+  dir_.clear();
+  const std::size_t entries = r.get_size();
+  for (std::size_t i = 0; i < entries; ++i) {
+    const std::uint64_t line = r.get_u64();
+    DirEntry e;
+    e.state = static_cast<LineState>(r.get_u64());
+    const std::size_t sharers = r.get_size();
+    for (std::size_t s = 0; s < sharers; ++s) e.sharers.insert(r.get_size());
+    e.owner = r.get_size();
+    dir_[line] = std::move(e);
+  }
+
+  busy_.clear();
+  const std::size_t txns = r.get_size();
+  for (std::size_t i = 0; i < txns; ++i) {
+    const std::uint64_t line = r.get_u64();
+    Transaction t;
+    t.is_getx = r.get_bool();
+    t.requester = r.get_size();
+    t.pending_acks = r.get_size();
+    t.waiting_fetch = r.get_bool();
+    busy_[line] = t;
+  }
+
+  waiting_.clear();
+  const std::size_t queues = r.get_size();
+  for (std::size_t i = 0; i < queues; ++i) {
+    const std::uint64_t line = r.get_u64();
+    auto& q = waiting_[line];
+    const std::size_t n = r.get_size();
+    for (std::size_t j = 0; j < n; ++j) q.push_back(r.get());
+  }
+
+  outq_.clear();
+  out_ready_.clear();
+  const std::size_t outs = r.get_size();
+  for (std::size_t i = 0; i < outs; ++i) outq_.push_back(r.get());
+  for (std::size_t i = 0; i < outs; ++i) out_ready_.push_back(r.get_u64());
+}
+
 // ---------------------------------------------------------------------------
 // DirCache
 // ---------------------------------------------------------------------------
@@ -340,6 +449,64 @@ void DirCache::declare_deps(Deps& deps) const {
   deps.state_only(cpu_resp_);
   deps.state_only(msg_out_);
   deps.state_only(cpu_req_);
+}
+
+void DirCache::save_state(liberty::core::StateWriter& w) const {
+  model_.save(w);
+
+  std::vector<std::uint64_t> lines;
+  lines.reserve(data_.size());
+  for (const auto& [line, words] : data_) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  w.put_size(lines.size());
+  for (const std::uint64_t line : lines) {
+    const auto& words = data_.at(line);
+    w.put_u64(line);
+    w.put_size(words.size());
+    for (const std::int64_t word : words) w.put_i64(word);
+  }
+
+  w.put_bool(miss_.has_value());
+  if (miss_) {
+    w.put(miss_->cpu_req);
+    w.put_u64(miss_->line);
+  }
+
+  w.put_size(outq_.size());
+  for (const auto& v : outq_) w.put(v);
+  w.put_size(respq_.size());
+  for (const auto& v : respq_) w.put(v);
+  for (const liberty::core::Cycle c : resp_ready_) w.put_u64(c);
+}
+
+void DirCache::load_state(liberty::core::StateReader& r) {
+  model_.load(r);
+
+  data_.clear();
+  const std::size_t lines = r.get_size();
+  for (std::size_t i = 0; i < lines; ++i) {
+    const std::uint64_t line = r.get_u64();
+    auto& words = data_[line];
+    const std::size_t n = r.get_size();
+    words.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) words.push_back(r.get_i64());
+  }
+
+  miss_.reset();
+  if (r.get_bool()) {
+    liberty::Value req = r.get();
+    const std::uint64_t line = r.get_u64();
+    miss_ = Outstanding{std::move(req), line};
+  }
+
+  outq_.clear();
+  const std::size_t outs = r.get_size();
+  for (std::size_t i = 0; i < outs; ++i) outq_.push_back(r.get());
+  respq_.clear();
+  resp_ready_.clear();
+  const std::size_t resps = r.get_size();
+  for (std::size_t i = 0; i < resps; ++i) respq_.push_back(r.get());
+  for (std::size_t i = 0; i < resps; ++i) resp_ready_.push_back(r.get_u64());
 }
 
 }  // namespace liberty::mpl

@@ -58,6 +58,8 @@ class DirectoryCtl : public liberty::core::Module {
   void cycle_start(liberty::core::Cycle c) override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   void poke(std::uint64_t addr, std::int64_t v) { store_[addr] = v; }
   [[nodiscard]] std::int64_t peek(std::uint64_t addr) const {
@@ -116,6 +118,8 @@ class DirCache : public liberty::core::Module {
   void cycle_start(liberty::core::Cycle c) override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
  private:
   static constexpr std::int64_t kShared = 1;

@@ -35,6 +35,8 @@ class OrderingCtl : public liberty::core::Module {
   void cycle_start(liberty::core::Cycle c) override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   [[nodiscard]] std::size_t store_buffer_depth() const noexcept {
     return buffer_.size();

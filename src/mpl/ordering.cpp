@@ -138,4 +138,48 @@ void OrderingCtl::declare_deps(Deps& deps) const {
   deps.state_only(cpu_req_);
 }
 
+void OrderingCtl::save_state(liberty::core::StateWriter& w) const {
+  // offering_load_ is per-cycle scratch, recomputed in cycle_start.
+  w.put_size(buffer_.size());
+  for (const BufferedStore& s : buffer_) {
+    w.put_u64(s.addr);
+    w.put_i64(s.data);
+  }
+  w.put_size(drainq_.size());
+  for (const auto& v : drainq_) w.put(v);
+  for (const liberty::core::Cycle c : drain_ready_) w.put_u64(c);
+  w.put_size(cpu_respq_.size());
+  for (const auto& v : cpu_respq_) w.put(v);
+  w.put_bool(pending_load_.has_value());
+  if (pending_load_) w.put(*pending_load_);
+  w.put_bool(load_req_.has_value());
+  if (load_req_) w.put(*load_req_);
+  w.put_u64(drain_tags_outstanding_);
+  w.put_u64(next_tag_);
+}
+
+void OrderingCtl::load_state(liberty::core::StateReader& r) {
+  buffer_.clear();
+  const std::size_t stores = r.get_size();
+  for (std::size_t i = 0; i < stores; ++i) {
+    const std::uint64_t addr = r.get_u64();
+    const std::int64_t data = r.get_i64();
+    buffer_.push_back(BufferedStore{addr, data});
+  }
+  drainq_.clear();
+  drain_ready_.clear();
+  const std::size_t drains = r.get_size();
+  for (std::size_t i = 0; i < drains; ++i) drainq_.push_back(r.get());
+  for (std::size_t i = 0; i < drains; ++i) drain_ready_.push_back(r.get_u64());
+  cpu_respq_.clear();
+  const std::size_t resps = r.get_size();
+  for (std::size_t i = 0; i < resps; ++i) cpu_respq_.push_back(r.get());
+  pending_load_.reset();
+  if (r.get_bool()) pending_load_ = r.get();
+  load_req_.reset();
+  if (r.get_bool()) load_req_ = r.get();
+  drain_tags_outstanding_ = r.get_u64();
+  next_tag_ = r.get_u64();
+}
+
 }  // namespace liberty::mpl

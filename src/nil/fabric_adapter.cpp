@@ -77,6 +77,14 @@ void FabricAdapter::end_of_cycle() {
   if (net_in_.transferred()) stats().counter("rx").inc();
 }
 
+void FabricAdapter::save_state(liberty::core::StateWriter& w) const {
+  w.put_u64(next_packet_);
+}
+
+void FabricAdapter::load_state(liberty::core::StateReader& r) {
+  next_packet_ = r.get_u64();
+}
+
 void FabricAdapter::declare_deps(Deps& deps) const {
   deps.depends(net_out_, {fwd(msg_in_)});
   deps.depends(msg_in_, {fwd(msg_in_), bwd(net_out_)});

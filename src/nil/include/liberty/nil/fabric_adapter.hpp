@@ -36,6 +36,8 @@ class FabricAdapter : public liberty::core::Module {
   void react() override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
  private:
   liberty::core::Port& msg_in_;

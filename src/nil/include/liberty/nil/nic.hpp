@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "liberty/core/mmio.hpp"
 #include "liberty/core/module.hpp"
 #include "liberty/core/netlist.hpp"
 #include "liberty/core/params.hpp"
@@ -61,16 +62,22 @@ namespace liberty::nil {
 ///
 /// Parameters: mac (station address)    [0]
 /// Stats: tx_frames, rx_frames, crc_errors, dma_words.
-class NicAssist : public liberty::core::Module {
+///
+/// The register block is exposed through the core::MmioDevice interface,
+/// so a NetSpec can bind the assist into any MmioHost declaratively.
+class NicAssist : public liberty::core::Module,
+                  public liberty::core::MmioDevice {
  public:
   NicAssist(const std::string& name, const liberty::core::Params& params);
 
   void cycle_start(liberty::core::Cycle c) override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
-  [[nodiscard]] std::int64_t mmio_read(std::uint64_t reg) const;
-  void mmio_write(std::uint64_t reg, std::int64_t v);
+  [[nodiscard]] std::int64_t mmio_read(std::uint64_t reg) override;
+  void mmio_write(std::uint64_t reg, std::int64_t v) override;
 
  private:
   enum class DmaMode : std::uint8_t { Idle, Gather, Scatter };

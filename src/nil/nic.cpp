@@ -26,7 +26,7 @@ NicAssist::NicAssist(const std::string& name, const Params& params)
       net_rx_(add_in("net_rx", AckMode::AutoAccept, 0, 1)),
       mac_(static_cast<std::uint64_t>(params.get_int("mac", 0))) {}
 
-std::int64_t NicAssist::mmio_read(std::uint64_t reg) const {
+std::int64_t NicAssist::mmio_read(std::uint64_t reg) {
   switch (reg) {
     case 0: return static_cast<std::int64_t>(dma_addr_);
     case 1: return static_cast<std::int64_t>(dma_len_);
@@ -151,6 +151,48 @@ void NicAssist::declare_deps(Deps& deps) const {
   deps.state_only(net_tx_);
 }
 
+void NicAssist::save_state(liberty::core::StateWriter& w) const {
+  w.put_u64(mac_);
+  w.put_u64(dma_addr_);
+  w.put_u64(dma_len_);
+  w.put_u64(tx_dst_);
+  w.put_u64(static_cast<std::uint64_t>(mode_));
+  w.put_u64(dma_done_);
+  w.put_size(dma_buf_.size());
+  for (const std::int64_t word : dma_buf_) w.put_i64(word);
+  w.put_size(memq_.size());
+  for (const auto& v : memq_) w.put(v);
+  w.put_bool(mem_in_flight_);
+  w.put_size(txq_.size());
+  for (const auto& v : txq_) w.put(v);
+  w.put_size(rxq_.size());
+  for (const auto& f : rxq_) {
+    w.put(liberty::Value(std::static_pointer_cast<const Payload>(f)));
+  }
+}
+
+void NicAssist::load_state(liberty::core::StateReader& r) {
+  mac_ = r.get_u64();
+  dma_addr_ = r.get_u64();
+  dma_len_ = r.get_u64();
+  tx_dst_ = r.get_u64();
+  mode_ = static_cast<DmaMode>(r.get_u64());
+  dma_done_ = r.get_u64();
+  dma_buf_.clear();
+  const std::size_t words = r.get_size();
+  for (std::size_t i = 0; i < words; ++i) dma_buf_.push_back(r.get_i64());
+  memq_.clear();
+  const std::size_t mems = r.get_size();
+  for (std::size_t i = 0; i < mems; ++i) memq_.push_back(r.get());
+  mem_in_flight_ = r.get_bool();
+  txq_.clear();
+  const std::size_t txs = r.get_size();
+  for (std::size_t i = 0; i < txs; ++i) txq_.push_back(r.get());
+  rxq_.clear();
+  const std::size_t rxs = r.get_size();
+  for (std::size_t i = 0; i < rxs; ++i) rxq_.push_back(r.get().as<EthFrame>());
+}
+
 // ---------------------------------------------------------------------------
 // Firmware
 // ---------------------------------------------------------------------------
@@ -235,15 +277,8 @@ ProgrammableNic build_programmable_nic(Netlist& netlist,
   nic.assist = &netlist.make<NicAssist>(prefix + ".assist", ap);
   nic.core->set_program(upl::assemble(nic_firmware(cfg), prefix + ".fw"));
 
-  NicAssist* assist = nic.assist;
-  nic.core->map_mmio(
-      static_cast<std::uint64_t>(cfg.mmio_base), 16,
-      [assist, base = static_cast<std::uint64_t>(cfg.mmio_base)](
-          std::uint64_t addr) { return assist->mmio_read(addr - base); },
-      [assist, base = static_cast<std::uint64_t>(cfg.mmio_base)](
-          std::uint64_t addr, std::int64_t v) {
-        assist->mmio_write(addr - base, v);
-      });
+  nic.core->attach_mmio(static_cast<std::uint64_t>(cfg.mmio_base), 16,
+                        *nic.assist);
   return nic;
 }
 

@@ -1,0 +1,60 @@
+// Request traces for the rack scenario (docs/scenarios.md).
+//
+// A trace is the workload of a whole rack: an ordered list of requests,
+// each saying "at cycle C (or later), node SRC sends node DST a payload of
+// W words".  Traces come from a file (`trace` CLI flag of rack_sim), from
+// the seeded synthetic generator below, or are embedded verbatim in a
+// NetSpec parameter so the differential oracle can rebuild the identical
+// workload under every scheduler.
+//
+// Text format ("liberty.trace v1", one request per line):
+//
+//     # comment
+//     req <cycle> <src> <dst> <words>
+//
+// Request ids are assigned by line order; payload word 0 carries the id
+// and word 1 the injection cycle, which is how the sink measures
+// end-to-end latency without side channels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace liberty::scenario {
+
+/// One rack-level request: src sends dst a `words`-word payload no
+/// earlier than `cycle`.
+struct TraceRequest {
+  std::uint64_t id = 0;
+  std::uint64_t cycle = 0;  // earliest injection cycle at the source
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::size_t words = 2;  // payload length; >= 2 (header: id, birth)
+};
+
+/// Synthetic workload shape.  Same config + same seed => the same trace,
+/// bit for bit, on every platform (liberty::Rng is xoshiro256**).
+struct TraceConfig {
+  std::size_t nodes = 4;
+  std::size_t per_node = 8;   // requests injected by each node
+  std::uint64_t seed = 1;
+  std::size_t min_words = 2;  // payload bounds, inclusive
+  std::size_t max_words = 8;
+  std::uint64_t start = 32;     // earliest injection cycle
+  std::uint64_t mean_gap = 96;  // mean cycles between a node's requests
+};
+
+/// Deterministic synthetic trace: per node, requests at cumulative random
+/// gaps, each to a uniform other node with a uniform payload size; the
+/// merged list is ordered by (cycle, src) and ids assigned in that order.
+[[nodiscard]] std::vector<TraceRequest> synthetic_trace(
+    const TraceConfig& cfg);
+
+/// Render to / parse from the text format above.  parse_trace throws
+/// liberty::ElaborationError on malformed input and reassigns ids by line
+/// order.
+[[nodiscard]] std::string render_trace(const std::vector<TraceRequest>& reqs);
+[[nodiscard]] std::vector<TraceRequest> parse_trace(const std::string& text);
+
+}  // namespace liberty::scenario

@@ -1,0 +1,209 @@
+// Trace-driven workload endpoints of the rack scenario.
+//
+// Both modules are *hosts* in the NIL's sense: they touch the world only
+// through a pcl::MemReq port into the node's host memory, exactly like the
+// device driver of a real machine.  TraceSource plays the send side of the
+// driver (fill a payload buffer, post a TX descriptor); TraceSink plays
+// the receive side (pre-arm RX buffers, reap filled descriptors).  The
+// programmable NIC between them — firmware core, DMA assist, fabric
+// adapter — is the production nil/ccl stack, not a test double, which is
+// what makes the rack a macro-benchmark of the whole system.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "liberty/core/module.hpp"
+#include "liberty/core/params.hpp"
+#include "liberty/scenario/trace.hpp"
+
+namespace liberty::scenario {
+
+/// Replays the `src == node` slice of a trace into the node's TX ring.
+///
+/// Ports: host_req (out, pcl::MemReq), host_resp (in).
+/// Parameters:
+///   node          this node's id (selects the trace slice)        [0]
+///   trace         trace text (see trace.hpp), embedded verbatim   [""]
+///   tx_ring       host address of the TX descriptor ring          [8192]
+///   ring_entries  descriptors in the ring                         [8]
+///   payload_base  first payload staging buffer                    [4096]
+///   slot_stride   words between staging buffers                   [64]
+///
+/// One host-memory word is read or written per transaction, one
+/// transaction in flight at a time: poll the next descriptor's status
+/// (free = 0 or completed = 2), write the payload words (word 0 = request
+/// id, word 1 = current cycle = birth stamp, rest a deterministic fill),
+/// then the descriptor's addr/len/dst, and finally status = 1 (ready),
+/// which hands the request to the NIC firmware.
+///
+/// Stats: injected, poll_retries.
+class TraceSource : public liberty::core::Module {
+ public:
+  TraceSource(const std::string& name, const liberty::core::Params& params);
+
+  void cycle_start(liberty::core::Cycle c) override;
+  void end_of_cycle() override;
+  void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
+
+  /// Requests fully handed to the NIC so far.
+  [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
+  /// Every request injected and no transaction in flight.
+  [[nodiscard]] bool drained() const noexcept {
+    return next_ >= reqs_.size() && !op_;
+  }
+
+ private:
+  enum class Phase : std::uint8_t {
+    Idle,      // waiting for the next request's cycle
+    Poll,      // reading the descriptor status
+    Payload,   // writing payload word `word_`
+    DescAddr,  // writing descriptor word 0 (payload address)
+    DescLen,   // word 1 (payload length)
+    DescDst,   // word 3 (destination MAC = node id)
+    DescGo,    // word 2 (status = 1: ready)
+  };
+
+  /// The single in-flight host-memory transaction.
+  struct Flight {
+    liberty::Value req;
+    bool sent = false;
+  };
+
+  void issue_read(std::uint64_t addr);
+  void issue_write(std::uint64_t addr, std::int64_t data);
+  void maybe_start();
+  void advance(std::int64_t resp_data);
+  [[nodiscard]] std::uint64_t desc_addr() const {
+    return tx_ring_ + slot_ * 4;
+  }
+  [[nodiscard]] std::uint64_t payload_addr() const {
+    return payload_base_ + slot_ * slot_stride_;
+  }
+  [[nodiscard]] std::int64_t payload_word(std::size_t k) const;
+
+  liberty::core::Port& host_req_;
+  liberty::core::Port& host_resp_;
+
+  std::size_t node_;
+  std::uint64_t tx_ring_;
+  std::uint64_t entries_;
+  std::uint64_t payload_base_;
+  std::uint64_t slot_stride_;
+  std::vector<TraceRequest> reqs_;  // this node's slice, injection order
+
+  Phase phase_ = Phase::Idle;
+  std::size_t next_ = 0;   // index into reqs_
+  std::uint64_t slot_ = 0;  // TX ring slot for the current request
+  std::size_t word_ = 0;   // payload word being written
+  std::uint64_t born_ = 0;  // birth stamp of the current request
+  std::optional<Flight> op_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t next_tag_ = 1;
+};
+
+/// Reaps the node's RX ring and records per-request end-to-end latency.
+///
+/// Ports: host_req (out, pcl::MemReq), host_resp (in).
+/// Parameters:
+///   node           this node's id                                  [0]
+///   rx_ring        host address of the RX descriptor ring          [8448]
+///   ring_entries   descriptors in the ring                         [8]
+///   buf_base       first receive buffer                            [6144]
+///   slot_stride    words between receive buffers                   [64]
+///   latency_buckets / latency_bucket_width   histogram shape       [64/32]
+///
+/// First arms every descriptor (buffer address, status = 1), then scans
+/// the ring round-robin: a status of 2 means the firmware scattered a
+/// frame — read its length, source, and payload, record
+/// {id, src, born, done} with done = the cycle the completion was
+/// observed, and re-arm the slot.
+///
+/// Stats: completed, latency (histogram), latency_cycles (accumulator).
+class TraceSink : public liberty::core::Module {
+ public:
+  /// One reaped request.  `born` comes from payload word 1 (stamped by the
+  /// TraceSource), so done - born spans source staging, firmware, DMA,
+  /// both fabrics, and sink reaping.
+  struct Record {
+    std::uint64_t id = 0;
+    std::uint64_t src = 0;
+    std::uint64_t born = 0;
+    std::uint64_t done = 0;
+    std::size_t words = 0;
+  };
+
+  TraceSink(const std::string& name, const liberty::core::Params& params);
+
+  void cycle_start(liberty::core::Cycle c) override;
+  void end_of_cycle() override;
+  void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
+
+  [[nodiscard]] const std::vector<Record>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return records_.size();
+  }
+  /// Byte-stable rendering of the record list; the replay-determinism
+  /// tests compare these strings across runs and schedulers.
+  [[nodiscard]] std::string render_records() const;
+
+ private:
+  enum class Phase : std::uint8_t {
+    ArmAddr,   // initial arming: writing descriptor word 0
+    ArmStatus,  // initial arming: writing status = 1
+    Poll,      // reading descriptor status of slot_
+    ReadLen,   // reading descriptor word 1
+    ReadSrc,   // reading descriptor word 3
+    ReadWord,  // reading payload word word_
+    Rearm,     // writing status = 1 after reaping
+  };
+
+  struct Flight {
+    liberty::Value req;
+    bool sent = false;
+  };
+
+  void issue_read(std::uint64_t addr);
+  void issue_write(std::uint64_t addr, std::int64_t data);
+  void advance(std::int64_t resp_data);
+  void finish_record();
+  [[nodiscard]] std::uint64_t desc_addr() const {
+    return rx_ring_ + slot_ * 4;
+  }
+  [[nodiscard]] std::uint64_t buf_addr() const {
+    return buf_base_ + slot_ * slot_stride_;
+  }
+
+  liberty::core::Port& host_req_;
+  liberty::core::Port& host_resp_;
+
+  std::size_t node_;
+  std::uint64_t rx_ring_;
+  std::uint64_t entries_;
+  std::uint64_t buf_base_;
+  std::uint64_t slot_stride_;
+  std::size_t latency_buckets_;
+  double latency_bucket_width_;
+
+  Phase phase_ = Phase::ArmAddr;
+  std::uint64_t slot_ = 0;
+  std::size_t word_ = 0;
+  std::uint64_t len_ = 0;   // payload length of the frame being reaped
+  std::uint64_t src_ = 0;   // its source MAC
+  std::uint64_t seen_ = 0;  // cycle its completion was observed
+  std::vector<std::int64_t> buf_;  // payload words read so far
+  std::optional<Flight> op_;
+  std::vector<Record> records_;
+  std::uint64_t next_tag_ = 1;
+};
+
+}  // namespace liberty::scenario

@@ -25,20 +25,40 @@ struct ModuleDecl {
   liberty::core::Params params;
 };
 
+/// Endpoint index meaning "assign the next free endpoint" (Netlist::connect
+/// order-dependent assignment, the default for fuzzed specs).
+inline constexpr std::size_t kAnyEndpoint = static_cast<std::size_t>(-1);
+
 /// One connection: output port `from_port` of module `from` to input port
-/// `to_port` of module `to`.  Endpoints are assigned in declaration order
-/// (Netlist::connect picks the next free endpoint), so edge order is part
-/// of the spec's identity.
+/// `to_port` of module `to`.  By default endpoints are assigned in
+/// declaration order (Netlist::connect picks the next free endpoint), so
+/// edge order is part of the spec's identity.  Topologies whose modules
+/// give endpoint indexes a directional meaning (e.g. ccl routers: 1 = east,
+/// 4 = south) pin both sides explicitly instead (Netlist::connect_at).
 struct EdgeDecl {
   std::size_t from = 0;
   std::string from_port;
   std::size_t to = 0;
   std::string to_port;
+  std::size_t from_ep = kAnyEndpoint;
+  std::size_t to_ep = kAnyEndpoint;
+};
+
+/// One memory-mapped I/O binding: module `device` (an core::MmioDevice)
+/// mapped into the address decode of module `host` (a core::MmioHost) at
+/// [base, base+size).  Resolved by dynamic_cast during build(), keeping
+/// this layer ignorant of which concrete libraries implement the seam.
+struct MmioDecl {
+  std::size_t host = 0;
+  std::size_t device = 0;
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
 };
 
 struct NetSpec {
   std::vector<ModuleDecl> modules;
   std::vector<EdgeDecl> edges;
+  std::vector<MmioDecl> mmios;
   liberty::core::Cycle cycles = 200;  // suggested simulation length
 
   /// Elaborate into `netlist` (instantiate every module, connect every

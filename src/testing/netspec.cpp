@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "liberty/core/mmio.hpp"
 #include "liberty/support/error.hpp"
 
 namespace liberty::testing {
@@ -19,8 +20,38 @@ void NetSpec::build(liberty::core::Netlist& netlist,
       throw liberty::ElaborationError(
           "netspec edge references module index out of range");
     }
-    netlist.connect(instances[e.from]->out(e.from_port),
-                    instances[e.to]->in(e.to_port));
+    const bool pinned = e.from_ep != kAnyEndpoint || e.to_ep != kAnyEndpoint;
+    if (pinned) {
+      if (e.from_ep == kAnyEndpoint || e.to_ep == kAnyEndpoint) {
+        throw liberty::ElaborationError(
+            "netspec edge pins only one endpoint; pin both or neither");
+      }
+      netlist.connect_at(instances[e.from]->out(e.from_port), e.from_ep,
+                         instances[e.to]->in(e.to_port), e.to_ep);
+    } else {
+      netlist.connect(instances[e.from]->out(e.from_port),
+                      instances[e.to]->in(e.to_port));
+    }
+  }
+  for (const MmioDecl& m : mmios) {
+    if (m.host >= instances.size() || m.device >= instances.size()) {
+      throw liberty::ElaborationError(
+          "netspec mmio references module index out of range");
+    }
+    auto* host = dynamic_cast<liberty::core::MmioHost*>(instances[m.host]);
+    if (host == nullptr) {
+      throw liberty::ElaborationError("netspec mmio host '" +
+                                      modules[m.host].name +
+                                      "' does not implement MmioHost");
+    }
+    auto* device =
+        dynamic_cast<liberty::core::MmioDevice*>(instances[m.device]);
+    if (device == nullptr) {
+      throw liberty::ElaborationError("netspec mmio device '" +
+                                      modules[m.device].name +
+                                      "' does not implement MmioDevice");
+    }
+    host->attach_mmio(m.base, m.size, *device);
   }
   netlist.finalize();
 }
@@ -35,8 +66,16 @@ std::string NetSpec::render() const {
     out += "\n";
   }
   for (const EdgeDecl& e : edges) {
-    out += "connect " + modules[e.from].name + "." + e.from_port + " -> " +
-           modules[e.to].name + "." + e.to_port + "\n";
+    out += "connect " + modules[e.from].name + "." + e.from_port;
+    if (e.from_ep != kAnyEndpoint) out += "@" + std::to_string(e.from_ep);
+    out += " -> " + modules[e.to].name + "." + e.to_port;
+    if (e.to_ep != kAnyEndpoint) out += "@" + std::to_string(e.to_ep);
+    out += "\n";
+  }
+  for (const MmioDecl& m : mmios) {
+    out += "mmio " + modules[m.device].name + " -> " + modules[m.host].name +
+           " base=" + std::to_string(m.base) +
+           " size=" + std::to_string(m.size) + "\n";
   }
   return out;
 }

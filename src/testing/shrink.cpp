@@ -32,14 +32,21 @@ NetSpec remove_module(const NetSpec& spec, std::size_t victim) {
   for (const EdgeDecl& e : spec.edges) {
     if (e.from == victim || e.to == victim) {
       if (splice && &e == incoming.front()) {
+        // The spliced edge crosses two original edges; any endpoint pins
+        // belonged to the victim's wiring, so fall back to next-free.
         out.edges.push_back(EdgeDecl{remap[e.from], e.from_port,
                                      remap[outgoing.front()->to],
                                      outgoing.front()->to_port});
       }
       continue;
     }
-    out.edges.push_back(
-        EdgeDecl{remap[e.from], e.from_port, remap[e.to], e.to_port});
+    out.edges.push_back(EdgeDecl{remap[e.from], e.from_port, remap[e.to],
+                                 e.to_port, e.from_ep, e.to_ep});
+  }
+  for (const MmioDecl& m : spec.mmios) {
+    if (m.host == victim || m.device == victim) continue;
+    out.mmios.push_back(
+        MmioDecl{remap[m.host], remap[m.device], m.base, m.size});
   }
   return out;
 }

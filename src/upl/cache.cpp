@@ -89,6 +89,34 @@ bool CacheModel::invalidate(std::uint64_t addr) {
   return false;
 }
 
+void CacheModel::save(liberty::core::StateWriter& w) const {
+  w.put_u64(clock_);
+  liberty::core::save_rng(w, rng_);
+  for (const auto& set : lines_) {
+    for (const Line& line : set) {
+      w.put_bool(line.valid);
+      w.put_bool(line.dirty);
+      w.put_u64(line.tag);
+      w.put_u64(line.stamp);
+      w.put_i64(line.meta);
+    }
+  }
+}
+
+void CacheModel::load(liberty::core::StateReader& r) {
+  clock_ = r.get_u64();
+  liberty::core::load_rng(r, rng_);
+  for (auto& set : lines_) {
+    for (Line& line : set) {
+      line.valid = r.get_bool();
+      line.dirty = r.get_bool();
+      line.tag = r.get_u64();
+      line.stamp = r.get_u64();
+      line.meta = r.get_i64();
+    }
+  }
+}
+
 CacheModel::Replacement replacement_from_string(const std::string& s) {
   if (s == "lru") return CacheModel::Replacement::Lru;
   if (s == "fifo") return CacheModel::Replacement::Fifo;

@@ -79,6 +79,11 @@ class CacheModel {
     return lines_[set];
   }
 
+  /// Serialize the array (geometry is structural and not saved) so the
+  /// embedding module's save_state can include its cache.
+  void save(liberty::core::StateWriter& w) const;
+  void load(liberty::core::StateReader& r);
+
  private:
   std::size_t sets_;
   std::size_t ways_;

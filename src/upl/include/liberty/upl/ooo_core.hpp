@@ -37,9 +37,11 @@ namespace liberty::upl {
 ///   dcache_sets / dcache_ways / dcache_line                    [64/4/4]
 ///   max_instrs          trace length bound                     [1000000]
 ///   stop_on_halt        request simulation stop at completion  [true]
+///   program             LRISC assembly text, assembled at construction [""]
 ///
-/// The program is attached with set_program().  Stats: retired, cycles,
-/// mispredicts, dcache_hits, dcache_misses, window_occupancy.
+/// The program is attached with set_program() or the `program` parameter.
+/// Stats: retired, cycles, mispredicts, dcache_hits, dcache_misses,
+/// window_occupancy.
 class OoOCore : public liberty::core::Module {
  public:
   OoOCore(const std::string& name, const liberty::core::Params& params);
@@ -52,6 +54,8 @@ class OoOCore : public liberty::core::Module {
 
   void init() override;
   void end_of_cycle() override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   [[nodiscard]] bool done() const noexcept {
     return trace_ready_ && commit_ptr_ >= trace_.size();

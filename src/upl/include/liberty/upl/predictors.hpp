@@ -10,18 +10,23 @@
 #include <string>
 #include <vector>
 
+#include "liberty/core/state.hpp"
 #include "liberty/support/error.hpp"
 
 namespace liberty::upl {
 
 /// Direction predictor interface.  `predict` must not mutate state;
-/// `update` trains with the resolved outcome.
+/// `update` trains with the resolved outcome.  save/load serialize the
+/// training state so an embedding module's snapshot covers its predictor
+/// (the default is for stateless predictors).
 class Predictor {
  public:
   virtual ~Predictor() = default;
   [[nodiscard]] virtual bool predict(std::uint64_t pc) const = 0;
   virtual void update(std::uint64_t pc, bool taken) = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+  virtual void save(liberty::core::StateWriter&) const {}
+  virtual void load(liberty::core::StateReader&) {}
 };
 
 /// Always predicts the fixed direction.
@@ -52,6 +57,12 @@ class BimodalPredictor final : public Predictor {
     if (!taken && c > 0) --c;
   }
   [[nodiscard]] std::string name() const override { return "bimodal"; }
+  void save(liberty::core::StateWriter& w) const override {
+    for (const std::uint8_t c : table_) w.put_u64(c);
+  }
+  void load(liberty::core::StateReader& r) override {
+    for (std::uint8_t& c : table_) c = static_cast<std::uint8_t>(r.get_u64());
+  }
 
  private:
   std::vector<std::uint8_t> table_;
@@ -72,6 +83,14 @@ class GSharePredictor final : public Predictor {
     history_ = (history_ << 1) | (taken ? 1 : 0);
   }
   [[nodiscard]] std::string name() const override { return "gshare"; }
+  void save(liberty::core::StateWriter& w) const override {
+    for (const std::uint8_t c : table_) w.put_u64(c);
+    w.put_u64(history_);
+  }
+  void load(liberty::core::StateReader& r) override {
+    for (std::uint8_t& c : table_) c = static_cast<std::uint8_t>(r.get_u64());
+    history_ = r.get_u64();
+  }
 
  private:
   [[nodiscard]] std::size_t index(std::uint64_t pc) const {
@@ -103,6 +122,16 @@ class TournamentPredictor final : public Predictor {
     gshare_.update(pc, taken);
   }
   [[nodiscard]] std::string name() const override { return "tournament"; }
+  void save(liberty::core::StateWriter& w) const override {
+    bimodal_.save(w);
+    gshare_.save(w);
+    for (const std::uint8_t c : chooser_) w.put_u64(c);
+  }
+  void load(liberty::core::StateReader& r) override {
+    bimodal_.load(r);
+    gshare_.load(r);
+    for (std::uint8_t& c : chooser_) c = static_cast<std::uint8_t>(r.get_u64());
+  }
 
  private:
   BimodalPredictor bimodal_;

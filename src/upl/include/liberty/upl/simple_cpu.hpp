@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "liberty/core/mmio.hpp"
 #include "liberty/core/module.hpp"
 #include "liberty/core/params.hpp"
 #include "liberty/upl/isa.hpp"
@@ -30,10 +31,14 @@ namespace liberty::upl {
 
 /// Parameters:
 ///   stop_on_halt   request simulation stop when HALT retires    [false]
+///   program        LRISC assembly text, assembled at construction [""]
 ///
-/// The program is attached with set_program() (it is data, not a Value-
-/// expressible parameter).  Stats: instructions, mem_stall_cycles, cycles.
-class SimpleCpu : public liberty::core::Module {
+/// A program may also be attached with set_program(); the `program` string
+/// parameter exists so rebuildable NetSpecs (oracle, fuzzer, scenarios) can
+/// express complete systems.  As an MmioHost the cpu accepts declarative
+/// device bindings (attach_mmio) in addition to raw map_mmio callbacks.
+/// Stats: instructions, mem_stall_cycles, cycles.
+class SimpleCpu : public liberty::core::Module, public liberty::core::MmioHost {
  public:
   using MmioRead = std::function<std::int64_t(std::uint64_t addr)>;
   using MmioWrite = std::function<void(std::uint64_t addr, std::int64_t v)>;
@@ -48,10 +53,15 @@ class SimpleCpu : public liberty::core::Module {
   /// Route [base, base+size) to device callbacks instead of memory.
   void map_mmio(std::uint64_t base, std::uint64_t size, MmioRead rd,
                 MmioWrite wr);
+  /// MmioHost: route [base, base+size) to a device register file.
+  void attach_mmio(std::uint64_t base, std::uint64_t size,
+                   liberty::core::MmioDevice& device) override;
 
   void cycle_start(liberty::core::Cycle c) override;
   void end_of_cycle() override;
   void declare_deps(liberty::core::Deps& deps) const override;
+  void save_state(liberty::core::StateWriter& w) const override;
+  void load_state(liberty::core::StateReader& r) override;
 
   [[nodiscard]] bool halted() const noexcept { return halted_; }
   [[nodiscard]] std::uint64_t retired() const noexcept { return retired_; }

@@ -1,6 +1,8 @@
 #include "liberty/upl/ooo_core.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "liberty/support/error.hpp"
 
@@ -37,6 +39,8 @@ OoOCore::OoOCore(const std::string& name, const Params& params)
     throw liberty::ElaborationError(
         "upl.ooo_core: width/window/rob must be >= 1");
   }
+  const std::string source = params.get_string("program", "");
+  if (!source.empty()) set_program(assemble(source, name + ".program"));
 }
 
 void OoOCore::build_trace() {
@@ -165,6 +169,59 @@ void OoOCore::do_fetch() {
     }
     ++fetch_ptr_;
   }
+}
+
+void OoOCore::save_state(liberty::core::StateWriter& w) const {
+  // trace_ and output_ are rebuilt deterministically by init(); only the
+  // machine's progress through the trace is state.
+  w.put_size(rob_.size());
+  for (const InFlight& f : rob_) {
+    w.put_size(f.idx);
+    w.put_bool(f.issued);
+    w.put_u64(f.done);
+  }
+  w.put_size(fetch_ptr_);
+  w.put_size(commit_ptr_);
+  for (const std::uint64_t c : reg_ready_) w.put_u64(c);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> stores(
+      store_ready_.begin(), store_ready_.end());
+  std::sort(stores.begin(), stores.end());
+  w.put_size(stores.size());
+  for (const auto& [addr, ready] : stores) {
+    w.put_u64(addr);
+    w.put_u64(ready);
+  }
+  w.put_u64(fetch_stalled_until_);
+  w.put_bool(blocking_branch_.has_value());
+  if (blocking_branch_) w.put_size(*blocking_branch_);
+  pred_->save(w);
+  dcache_.save(w);
+}
+
+void OoOCore::load_state(liberty::core::StateReader& r) {
+  rob_.clear();
+  const std::size_t inflight = r.get_size();
+  for (std::size_t i = 0; i < inflight; ++i) {
+    InFlight f;
+    f.idx = r.get_size();
+    f.issued = r.get_bool();
+    f.done = r.get_u64();
+    rob_.push_back(f);
+  }
+  fetch_ptr_ = r.get_size();
+  commit_ptr_ = r.get_size();
+  for (std::uint64_t& c : reg_ready_) c = r.get_u64();
+  store_ready_.clear();
+  const std::size_t stores = r.get_size();
+  for (std::size_t i = 0; i < stores; ++i) {
+    const std::uint64_t addr = r.get_u64();
+    store_ready_[addr] = r.get_u64();
+  }
+  fetch_stalled_until_ = r.get_u64();
+  blocking_branch_.reset();
+  if (r.get_bool()) blocking_branch_ = r.get_size();
+  pred_->load(r);
+  dcache_.load(r);
 }
 
 void OoOCore::end_of_cycle() {

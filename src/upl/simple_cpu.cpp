@@ -16,11 +16,26 @@ SimpleCpu::SimpleCpu(const std::string& name, const Params& params)
     : Module(name),
       mem_req_(add_out("mem_req", 0, 1)),
       mem_resp_(add_in("mem_resp", AckMode::AutoAccept, 0, 1)),
-      stop_on_halt_(params.get_bool("stop_on_halt", false)) {}
+      stop_on_halt_(params.get_bool("stop_on_halt", false)) {
+  const std::string source = params.get_string("program", "");
+  if (!source.empty()) set_program(assemble(source, name + ".program"));
+}
 
 void SimpleCpu::map_mmio(std::uint64_t base, std::uint64_t size, MmioRead rd,
                          MmioWrite wr) {
   mmio_.push_back(MmioRange{base, size, std::move(rd), std::move(wr)});
+}
+
+void SimpleCpu::attach_mmio(std::uint64_t base, std::uint64_t size,
+                            liberty::core::MmioDevice& device) {
+  map_mmio(
+      base, size,
+      [base, &device](std::uint64_t addr) {
+        return device.mmio_read(addr - base);
+      },
+      [base, &device](std::uint64_t addr, std::int64_t v) {
+        device.mmio_write(addr - base, v);
+      });
 }
 
 const SimpleCpu::MmioRange* SimpleCpu::mmio_for(std::uint64_t addr) const {
@@ -111,6 +126,42 @@ void SimpleCpu::end_of_cycle() {
 
 void SimpleCpu::declare_deps(Deps& deps) const {
   deps.state_only(mem_req_);
+}
+
+void SimpleCpu::save_state(liberty::core::StateWriter& w) const {
+  for (const std::int64_t r : regs_) w.put_i64(r);
+  w.put_u64(pc_);
+  w.put_bool(halted_);
+  w.put_u64(retired_);
+  w.put_u64(next_tag_);
+  w.put_size(output_.size());
+  for (const std::int64_t v : output_) w.put_i64(v);
+  // The pending instruction needs no slot: pc does not advance until the
+  // response arrives, so it is re-derived from prog_.code[pc_] on load.
+  w.put_bool(pending_.has_value());
+  if (pending_) {
+    w.put(pending_->req);
+    w.put_bool(pending_->sent);
+  }
+}
+
+void SimpleCpu::load_state(liberty::core::StateReader& r) {
+  for (auto& reg : regs_) reg = r.get_i64();
+  pc_ = r.get_u64();
+  halted_ = r.get_bool();
+  retired_ = r.get_u64();
+  next_tag_ = r.get_u64();
+  output_.clear();
+  const std::size_t outs = r.get_size();
+  for (std::size_t i = 0; i < outs; ++i) output_.push_back(r.get_i64());
+  pending_.reset();
+  if (r.get_bool()) {
+    liberty::Value req = r.get();
+    const bool sent = r.get_bool();
+    static const Instr kHalt{Op::Halt, 0, 0, 0, 0};
+    const Instr& i = pc_ < prog_.code.size() ? prog_.code[pc_] : kHalt;
+    pending_ = PendingMem{std::move(req), i, sent};
+  }
 }
 
 }  // namespace liberty::upl

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "liberty/ccl/ccl.hpp"
+#include "liberty/gen/compiled_scheduler.hpp"
+#include "liberty/scenario/rack.hpp"
 #include "liberty/testing/fuzzer.hpp"
 #include "liberty/testing/oracle.hpp"
 #include "test_util.hpp"
@@ -40,6 +42,33 @@ TEST(FuzzStress, FiveHundredSeedsZeroDivergence) {
     const liberty::testing::OracleResult r =
         liberty::testing::run_oracle(spec, registry, oracle);
     ASSERT_TRUE(r.ok) << "seed " << seed << "\n"
+                      << r.report() << spec.render();
+  }
+}
+
+// The rack family: seeded full-system netlists (every component library at
+// once — hosts, NIC firmware cores, coherence planes, the wormhole mesh)
+// through the same differential oracle.  Smaller battery than the pcl/ccl
+// sweep because each netlist is two orders of magnitude bigger.
+TEST(FuzzStress, RackFamilyFiveHundredSeedsZeroDivergence) {
+  liberty::core::ModuleRegistry registry;
+  liberty::scenario::register_rack_libraries(registry);
+  liberty::gen::ensure_registered();
+  liberty::testing::OracleConfig oracle;
+  oracle.snapshot_every = 256;
+  oracle.candidates = {
+      Candidate{SchedulerKind::Static, 0},
+      Candidate{SchedulerKind::Parallel, 2},
+      Candidate{SchedulerKind::Compiled, 0},
+      Candidate{SchedulerKind::Static, 0, /*opt_level=*/2},
+      Candidate{SchedulerKind::Compiled, 0, /*opt_level=*/2},
+  };
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    const liberty::testing::NetSpec spec =
+        liberty::scenario::fuzz_rack_netspec(seed);
+    const liberty::testing::OracleResult r =
+        liberty::testing::run_oracle(spec, registry, oracle);
+    ASSERT_TRUE(r.ok) << "rack seed " << seed << "\n"
                       << r.report() << spec.render();
   }
 }

@@ -35,7 +35,9 @@
 #include "liberty/pcl/pcl.hpp"
 #include "liberty/resil/fault_plan.hpp"
 #include "liberty/resil/injector.hpp"
+#include "liberty/gen/compiled_scheduler.hpp"
 #include "liberty/resil/watchdog.hpp"
+#include "liberty/scenario/rack.hpp"
 #include "liberty/testing/fuzzer.hpp"
 #include "liberty/testing/netspec.hpp"
 #include "liberty/testing/oracle.hpp"
@@ -46,6 +48,11 @@ namespace {
 constexpr const char* kUsage = R"(usage: liberty_fuzz [options]
   --seed S            first seed (default 1)
   --count N           number of consecutive seeds to run (default 1)
+  --family F          netlist family: pcl (default; the pcl/ccl dataflow
+                      generator) or rack (full-system rack scenarios from
+                      liberty::scenario — hosts, NIC firmware, coherence,
+                      mesh; the --no-* / --feedback / --cycles generator
+                      knobs do not apply)
   --cycles C          cycle budget per netlist (default 200)
   --snapshot-every K  snapshot interval for the oracle (default 16)
   --feedback P        probability of a feedback ring, 0..1 (default 0.5)
@@ -88,6 +95,7 @@ struct Options {
   std::string profile_path;
   std::string metrics_path;
   std::uint64_t heartbeat = 0;
+  std::string family = "pcl";
   int opt_level = 2;
   bool print_spec = false;
   bool shrink = false;
@@ -153,6 +161,14 @@ int parse_args(int argc, char** argv, Options& opt) {
     } else if (a == "--count") {
       const char* v = next();
       if (v == nullptr || !parse_u64(v, opt.count)) return 2;
+    } else if (a == "--family") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.family = v;
+      if (opt.family != "pcl" && opt.family != "rack") {
+        std::cerr << "liberty_fuzz: --family wants pcl or rack\n";
+        return 2;
+      }
     } else if (a == "--cycles") {
       std::uint64_t c = 0;
       const char* v = next();
@@ -420,8 +436,15 @@ int main(int argc, char** argv) {
   if (const int rc = parse_args(argc, argv, opt); rc != 0) return rc;
 
   liberty::core::ModuleRegistry registry;
-  liberty::pcl::register_pcl(registry);
-  liberty::ccl::register_ccl(registry);
+  if (opt.family == "rack") {
+    // Full-system netlists include compiled-scheduler candidates, so the
+    // gen backend must be linked in and registered up front.
+    liberty::scenario::register_rack_libraries(registry);
+    liberty::gen::ensure_registered();
+  } else {
+    liberty::pcl::register_pcl(registry);
+    liberty::ccl::register_ccl(registry);
+  }
 
   if (opt.fault_matrix) return run_fault_matrix(registry, opt);
   opt.oracle.fault_plan = opt.fault_plan.get();
@@ -459,7 +482,9 @@ int main(int argc, char** argv) {
   for (std::uint64_t s = opt.seed; s < opt.seed + opt.count; ++s) {
     liberty::testing::NetSpec spec;
     try {
-      spec = liberty::testing::generate_netlist(s, opt.fuzz);
+      spec = opt.family == "rack"
+                 ? liberty::scenario::fuzz_rack_netspec(s)
+                 : liberty::testing::generate_netlist(s, opt.fuzz);
     } catch (const std::exception& e) {
       std::cerr << "seed " << s << ": generator error: " << e.what() << "\n";
       return 1;
