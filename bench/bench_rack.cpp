@@ -19,6 +19,7 @@
 
 #include "liberty/core/simulator.hpp"
 #include "liberty/gen/compiled_scheduler.hpp"
+#include "liberty/gen/native.hpp"
 #include "liberty/opt/optimizer.hpp"
 #include "liberty/resil/watchdog.hpp"
 #include "liberty/scenario/rack.hpp"
@@ -118,12 +119,22 @@ int main() {
     core::SchedulerKind kind;
     unsigned threads;
   };
-  const std::vector<Cell> matrix = {
+  std::vector<Cell> matrix = {
       {"dynamic", core::SchedulerKind::Dynamic, 0},
       {"static", core::SchedulerKind::Static, 0},
       {"parallel", core::SchedulerKind::Parallel, 0},
       {"compiled", core::SchedulerKind::Compiled, 0},
   };
+  if (gen::native_available()) {
+    // Digest identity at macro scale is the point of this row: whatever
+    // the emitter declines inside the rack runs on the bytecode fallback
+    // of the same scheduler, and the trace/state digests must still match
+    // every other cell bit for bit.
+    matrix.push_back({"native", core::SchedulerKind::Native, 0});
+  } else {
+    std::printf("(native codegen not built: configure with "
+                "-DLIBERTY_NATIVE_CODEGEN=ON for a native row)\n");
+  }
 
   FILE* out = std::fopen("BENCH_rack.json", "w");
   if (out == nullptr) {

@@ -4,7 +4,7 @@
 //     --cycles N          cycles to simulate                [10000]
 //     --param NAME=VALUE  override a top-level param (repeatable;
 //                         integers, reals, true/false, or strings)
-//     --scheduler dyn|static|parallel|compiled              [static]
+//     --scheduler dyn|static|parallel|compiled|native       [static]
 //     --threads N         worker threads for --scheduler parallel
 //                         (0 = hardware concurrency)        [0]
 //     --opt-level N       elaboration-time optimizer level 0..2 [2]
@@ -13,6 +13,11 @@
 //                         (annotated with optimizer conclusions at -O1+)
 //     --dump-bytecode     print the compiled backend's lowered program
 //                         (docs/codegen.md) and exit
+//     --codegen-cache-dir DIR  artifact cache for --scheduler native
+//                         (default: LIBERTY_NATIVE_CACHE_DIR or the
+//                         system temp directory)
+//     --dump-native-src FILE  also write the native backend's generated
+//                         C++ translation unit to FILE
 //     --vcd FILE          also record a VCD transfer waveform
 //     --profile FILE      write a Chrome trace-event JSON profile
 //                         (load in Perfetto / chrome://tracing)
@@ -54,6 +59,7 @@
 #include "liberty/core/simulator.hpp"
 #include "liberty/core/vcd.hpp"
 #include "liberty/gen/compiled_scheduler.hpp"
+#include "liberty/gen/native.hpp"
 #include "liberty/mpl/mpl.hpp"
 #include "liberty/nil/nil.hpp"
 #include "liberty/obs/metrics.hpp"
@@ -93,9 +99,10 @@ liberty::Value parse_value(const std::string& text) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s SPEC.lss [--cycles N] [--param NAME=VALUE]...\n"
-               "       [--scheduler dyn|static|parallel|compiled]\n"
+               "       [--scheduler dyn|static|parallel|compiled|native]\n"
                "       [--threads N] [--opt-level N] [--opt-report]\n"
                "       [--dot FILE] [--dump-bytecode]\n"
+               "       [--codegen-cache-dir DIR] [--dump-native-src FILE]\n"
                "       [--vcd FILE] [--profile FILE]\n"
                "       [--metrics FILE] [--metrics-csv FILE]\n"
                "       [--heartbeat N] [--quiet]\n"
@@ -176,6 +183,10 @@ int main(int argc, char** argv) {
       dot_path = next();
     } else if (arg == "--dump-bytecode") {
       dump_bytecode = true;
+    } else if (arg == "--codegen-cache-dir") {
+      liberty::gen::native_options().cache_dir = next();
+    } else if (arg == "--dump-native-src") {
+      liberty::gen::native_options().dump_source_path = next();
     } else if (arg == "--vcd") {
       vcd_path = next();
     } else if (arg == "--profile") {

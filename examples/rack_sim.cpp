@@ -14,7 +14,7 @@
 //     --seed N              synthetic workload seed             [1]
 //     --requests N          synthetic requests per node         [4]
 //     --cycles N            cycles to simulate                  [20000]
-//     --scheduler dyn|static|parallel|compiled                  [static]
+//     --scheduler dyn|static|parallel|compiled|native           [static]
 //     --threads N           workers for --scheduler parallel    [0]
 //     --opt-level N         elaboration-time optimizer 0..2     [2]
 //     --metrics FILE        liberty.metrics JSON (module stats +
@@ -57,7 +57,7 @@ int usage(const char* argv0) {
       "usage: %s [--cols N] [--rows N] [--cores N] [--no-ooo]\n"
       "       [--ordering sc|tso] [--vcs N] [--link-latency N] [--iters N]\n"
       "       [--trace FILE] [--seed N] [--requests N] [--cycles N]\n"
-      "       [--scheduler dyn|static|parallel|compiled] [--threads N]\n"
+      "       [--scheduler dyn|static|parallel|compiled|native] [--threads N]\n"
       "       [--opt-level N] [--metrics FILE] [--metrics-csv FILE]\n"
       "       [--digest] [--records] [--print-spec] [--quiet]\n",
       argv0);

@@ -895,6 +895,14 @@ void SchedulerBase::visit_counters(const CounterVisitor& visit) const {
   }
 }
 
+bool checked_kernel_enabled() noexcept {
+#if defined(LIBERTY_CHECKED_KERNEL)
+  return true;
+#else
+  return false;
+#endif
+}
+
 void SchedulerBase::verify_resolved(Cycle cycle) const {
 #if defined(LIBERTY_CHECKED_KERNEL)
   constexpr bool kChecked = true;

@@ -1,0 +1,742 @@
+// Native codegen, part 1: eligibility analysis and the C++ emitter.
+//
+// analyze_native decides which part of the netlist the image may own;
+// emit_native_source lowers that part to one self-contained translation
+// unit.  The emitted code is a transliteration of the stock PCL hook
+// bodies (src/pcl/{source,queue,delay,sink}.cpp) onto POD state — every
+// counter increment, stat sample, and ring operation happens in the same
+// cycle phase and the same order as the in-object originals, which is what
+// makes the image bit-identical to the dynamic reference.  Any change to
+// those hook bodies must be mirrored here (the oracle and the fuzz slice
+// catch divergence).
+#include <cstdint>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "liberty/pcl/delay.hpp"
+#include "liberty/pcl/queue.hpp"
+#include "liberty/pcl/sink.hpp"
+#include "liberty/pcl/source.hpp"
+#include "native_impl.hpp"
+
+namespace liberty::gen {
+
+namespace core = liberty::core;
+namespace pcl = liberty::pcl;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Eligibility.
+
+/// Exact-type classification: a subclass of Source may override make_value
+/// or arrival_now, so only the stock types themselves qualify.
+bool classify(const core::Module& m, NativePlan::Kind& kind) {
+  const auto& t = typeid(m);
+  if (t == typeid(pcl::Source)) {
+    kind = NativePlan::kSource;
+    return true;
+  }
+  if (t == typeid(pcl::Queue)) {
+    kind = NativePlan::kQueue;
+    return true;
+  }
+  if (t == typeid(pcl::Delay)) {
+    kind = NativePlan::kDelay;
+    return true;
+  }
+  if (t == typeid(pcl::Sink)) {
+    kind = NativePlan::kSink;
+    return true;
+  }
+  return false;
+}
+
+/// Parameters the emitter has a recipe for (see the per-kind templates
+/// below).  Anything else keeps the module on the bytecode tapes.
+bool params_eligible(const core::Module& m, NativePlan::Kind kind,
+                     bool& token) {
+  switch (kind) {
+    case NativePlan::kSource: {
+      const auto& s = static_cast<const pcl::Source&>(m);
+      if (s.value_kind() != "counter" && s.value_kind() != "token") {
+        return false;  // kind=random draws the RNG per cycle
+      }
+      if (s.period() == 0) return false;  // rate arrivals draw the RNG
+      if (s.backlog_capacity() != 0) return false;  // drop path
+      if (s.stamps()) return false;  // Stamped payloads stay boxed
+      token = s.value_kind() == "token";
+      return true;
+    }
+    case NativePlan::kQueue:
+      return !static_cast<const pcl::Queue&>(m).bypass_ack();
+    case NativePlan::kDelay:
+      return true;
+    case NativePlan::kSink:
+      return !static_cast<const pcl::Sink&>(m).has_consume_hook();
+  }
+  return false;
+}
+
+}  // namespace
+
+NativePlan analyze_native(core::Netlist& netlist,
+                          const core::ScheduleGraph& graph,
+                          const core::OptPlan* plan) {
+  NativePlan out;
+  const auto& mods = netlist.modules();
+  const auto& conns = netlist.connections();
+  const auto& nodes = graph.nodes();
+  const auto& sccs = graph.sccs();
+  const auto& scc_of = graph.scc_of();
+
+  // Connection degrees (over the whole netlist, so a passing degree check
+  // proves the chain is a complete weakly-connected component — nothing
+  // else touches its modules).
+  std::vector<std::uint32_t> out_deg(mods.size(), 0), in_deg(mods.size(), 0);
+  std::vector<std::int32_t> out_conn(mods.size(), -1),
+      in_conn(mods.size(), -1);
+  for (const auto& c : conns) {
+    if (c->producer() != nullptr) {
+      const auto id = c->producer()->id();
+      ++out_deg[id];
+      out_conn[id] = static_cast<std::int32_t>(c->id());
+    }
+    if (c->consumer() != nullptr) {
+      const auto id = c->consumer()->id();
+      ++in_deg[id];
+      in_conn[id] = static_cast<std::int32_t>(c->id());
+    }
+  }
+
+  // Channel nodes per connection.
+  std::vector<std::int32_t> fwd_ch(conns.size(), -1), bwd_ch(conns.size(), -1);
+  for (std::size_t ch = 0; ch < nodes.size(); ++ch) {
+    const auto cid = nodes[ch].conn->id();
+    if (nodes[ch].kind == core::ChannelKind::Forward) {
+      fwd_ch[cid] = static_cast<std::int32_t>(ch);
+    } else {
+      bwd_ch[cid] = static_cast<std::int32_t>(ch);
+    }
+  }
+
+  const auto chan_free = [&](std::int32_t ch) {
+    if (ch < 0) return false;
+    const auto scc = scc_of[static_cast<std::size_t>(ch)];
+    if (sccs[scc].size() != 1 || graph.self_loop(scc)) return false;
+    if (plan != nullptr &&
+        (plan->channel_const[static_cast<std::size_t>(ch)] != 0 ||
+         plan->chain_of_channel[static_cast<std::size_t>(ch)] >= 0)) {
+      return false;
+    }
+    return true;
+  };
+  const auto conn_free = [&](const core::Connection& c) {
+    return !c.has_transfer_gate() &&
+           chan_free(fwd_ch[c.id()]) && chan_free(bwd_ch[c.id()]);
+  };
+  const auto module_free = [&](const core::Module& m) {
+    return !netlist.is_quarantined(m.id()) &&
+           (plan == nullptr || plan->elided[m.id()] == 0);
+  };
+
+  out.module_mask.assign(mods.size(), 0);
+  out.scc_mask.assign(sccs.size(), 0);
+
+  // Walk each candidate chain from its source.  All-or-nothing: the first
+  // ineligible member abandons the whole chain untouched.
+  for (const auto& mp : mods) {
+    core::Module& src = *mp;
+    NativePlan::Kind kind;
+    bool token = false;
+    if (!classify(src, kind) || kind != NativePlan::kSource) continue;
+    if (!params_eligible(src, kind, token) || !module_free(src)) continue;
+    if (out_deg[src.id()] != 1 || in_deg[src.id()] != 0) continue;
+
+    std::vector<core::Module*> chain{&src};
+    std::vector<NativePlan::Kind> kinds{NativePlan::kSource};
+    std::vector<core::Connection*> links;
+    core::Module* cur = &src;
+    bool ok = true;
+    while (true) {
+      core::Connection* link = conns[out_conn[cur->id()]].get();
+      if (link->consumer() == nullptr || !conn_free(*link)) {
+        ok = false;
+        break;
+      }
+      core::Module* next = link->consumer();
+      NativePlan::Kind nk;
+      bool ntoken = false;
+      if (!classify(*next, nk) || nk == NativePlan::kSource ||
+          !params_eligible(*next, nk, ntoken) || !module_free(*next) ||
+          in_deg[next->id()] != 1) {
+        ok = false;
+        break;
+      }
+      links.push_back(link);
+      chain.push_back(next);
+      kinds.push_back(nk);
+      if (nk == NativePlan::kSink) {
+        ok = out_deg[next->id()] == 0 &&
+             // The image resolves the sink's ack as ack := enable, which
+             // is exactly (and only) the AutoAccept default.
+             nodes[bwd_ch[link->id()]].driver == nullptr &&
+             link->ack_mode() == core::AckMode::AutoAccept;
+        break;
+      }
+      if (out_deg[next->id()] != 1) {
+        ok = false;
+        break;
+      }
+      cur = next;
+    }
+    if (!ok) continue;
+
+    // Accept: assign slots and channel indexes in walk order.
+    std::int32_t prev_chan = -1;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      NativePlan::Slot slot;
+      slot.module = chain[i];
+      slot.kind = kinds[i];
+      slot.token = token;
+      slot.in_chan = prev_chan;
+      if (i < links.size()) {
+        slot.out_chan = static_cast<std::int32_t>(out.channels.size());
+        out.channels.push_back(links[i]);
+        out.channel_token.push_back(token ? 1 : 0);
+        prev_chan = slot.out_chan;
+      }
+      out.slots.push_back(slot);
+      out.module_mask[chain[i]->id()] = 1;
+    }
+    for (const core::Connection* link : links) {
+      out.scc_mask[scc_of[static_cast<std::size_t>(fwd_ch[link->id()])]] = 1;
+      out.scc_mask[scc_of[static_cast<std::size_t>(bwd_ch[link->id()])]] = 1;
+    }
+  }
+
+  if (out.slots.empty()) {
+    out.module_mask.clear();
+    out.scc_mask.clear();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Emission.
+
+namespace {
+
+std::string u64(std::uint64_t v) { return std::to_string(v) + "ull"; }
+
+/// img.ch[i] accessor.
+std::string ch(std::int32_t i) {
+  return "img.ch[" + std::to_string(i) + "]";
+}
+
+}  // namespace
+
+std::string emit_native_source(const NativePlan& plan) {
+  std::string s;
+  s.reserve(1 << 16);
+  const auto L = [&](const std::string& line) {
+    s += line;
+    s += '\n';
+  };
+
+  // Per-kind instance indexes, in slot order.
+  std::vector<std::size_t> idx(plan.slots.size(), 0);
+  std::size_t n_src = 0, n_que = 0, n_del = 0, n_snk = 0;
+  for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+    switch (plan.slots[i].kind) {
+      case NativePlan::kSource: idx[i] = n_src++; break;
+      case NativePlan::kQueue: idx[i] = n_que++; break;
+      case NativePlan::kDelay: idx[i] = n_del++; break;
+      case NativePlan::kSink: idx[i] = n_snk++; break;
+    }
+  }
+  const auto dim = [](std::size_t n) {
+    return std::to_string(n == 0 ? 1 : n);
+  };
+
+  L("// Generated by liberty native codegen (ABI v" +
+    std::to_string(kLnAbiVersion) + ").  Do not edit: artifacts are");
+  L("// content-addressed on this source; edits vanish at the next miss.");
+  L("#include <cstdint>");
+  L("");
+  L("namespace {");
+  L("");
+  L("struct LnChan { unsigned char en; unsigned char ack; long long val; };");
+  L("");
+  L("struct LnHost {");
+  L("  void* ctx;");
+  L("  void (*stop)(void*, unsigned);");
+  L("  void (*put_u64)(void*, unsigned long long);");
+  L("  void (*put_i64)(void*, long long);");
+  L("  void (*put_tok)(void*);");
+  L("  unsigned long long (*get_u64)(void*);");
+  L("  long long (*get_i64)(void*);");
+  L("  void (*get_tok)(void*);");
+  L("  void (*stat_counter)(void*, unsigned, const char*, unsigned long long);");
+  L("  void (*stat_acc)(void*, unsigned, const char*, unsigned long long,");
+  L("                   double, double, double);");
+  L("};");
+  L("");
+  // Replicates liberty::Accumulator::add exactly (min/max keyed on the
+  // post-increment count).
+  L("struct Acc {");
+  L("  unsigned long long n; double sum; double mn; double mx;");
+  L("  void add(double x) {");
+  L("    ++n; sum += x;");
+  L("    mn = n == 1 ? x : (x < mn ? x : mn);");
+  L("    mx = n == 1 ? x : (x > mx ? x : mx);");
+  L("  }");
+  L("  void reset() { n = 0; sum = 0.0; mn = 0.0; mx = 0.0; }");
+  L("};");
+  L("");
+  L("struct Src { unsigned long long rng[4]; unsigned long long generated;");
+  L("             unsigned long long emitted; unsigned long long backlog;");
+  L("             Acc backlog_acc; unsigned long long emitted_delta; };");
+  L("struct Que { unsigned long long head; unsigned long long size;");
+  L("             long long* vals; Acc occ_acc; unsigned long long enq_delta;");
+  L("             unsigned long long deq_delta;");
+  L("             unsigned long long stall_delta; };");
+  L("struct Del { unsigned long long head; unsigned long long size;");
+  L("             long long* vals; unsigned long long* ready; };");
+  L("struct Snk { unsigned long long consumed;");
+  L("             unsigned long long consumed_delta; };");
+  L("");
+  L("struct Image {");
+  L("  LnHost host;");
+  L("  LnChan ch[" + std::to_string(plan.channels.size()) + "];");
+  L("  Src src[" + dim(n_src) + "];");
+  L("  Que que[" + dim(n_que) + "];");
+  L("  Del del[" + dim(n_del) + "];");
+  L("  Snk snk[" + dim(n_snk) + "];");
+  L("};");
+  L("");
+  L("}  // namespace");
+  L("");
+  L("extern \"C\" {");
+  L("");
+  L("unsigned ln_abi_version() { return " + std::to_string(kLnAbiVersion) +
+    "u; }");
+  L("");
+
+  // --- ln_create / ln_destroy --------------------------------------------
+  L("void* ln_create(const LnHost* host) {");
+  L("  Image* img = new Image();");
+  L("  img->host = *host;");
+  for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+    const NativePlan::Slot& sl = plan.slots[i];
+    const std::string k = std::to_string(idx[i]);
+    if (sl.kind == NativePlan::kQueue && !sl.token) {
+      const auto& q = static_cast<const pcl::Queue&>(*sl.module);
+      L("  img->que[" + k + "].vals = new long long[" +
+        std::to_string(q.depth()) + "];");
+    } else if (sl.kind == NativePlan::kDelay) {
+      const auto& d = static_cast<const pcl::Delay&>(*sl.module);
+      if (!sl.token) {
+        L("  img->del[" + k + "].vals = new long long[" +
+          std::to_string(d.capacity()) + "];");
+      }
+      L("  img->del[" + k + "].ready = new unsigned long long[" +
+        std::to_string(d.capacity()) + "];");
+    }
+  }
+  L("  return img;");
+  L("}");
+  L("");
+  L("void ln_destroy(void* p) {");
+  L("  Image* img = static_cast<Image*>(p);");
+  if (n_que != 0) {
+    L("  for (Que& q : img->que) delete[] q.vals;");
+  }
+  if (n_del != 0) {
+    L("  for (Del& d : img->del) { delete[] d.vals; delete[] d.ready; }");
+  }
+  L("  delete img;");
+  L("}");
+  L("");
+  L("LnChan* ln_chans(void* p) { return static_cast<Image*>(p)->ch; }");
+  L("");
+
+  // --- ln_start: every cycle_start body, slot order -----------------------
+  L("void ln_start(void* p, unsigned long long cycle) {");
+  L("  Image& img = *static_cast<Image*>(p);");
+  L("  (void)cycle;");
+  for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+    const NativePlan::Slot& sl = plan.slots[i];
+    const std::string k = std::to_string(idx[i]);
+    switch (sl.kind) {
+      case NativePlan::kSource: {
+        const auto& m = static_cast<const pcl::Source&>(*sl.module);
+        L("  { // " + m.name());
+        L("    Src& m = img.src[" + k + "];");
+        // Transliterated Source::cycle_start: arrival test, generation,
+        // backlog sample, offer.  Counter backlogs hold the consecutive
+        // run [generated-backlog, generated), so a count suffices.
+        std::string arrive;
+        if (m.count_limit() != 0) {
+          arrive = "m.generated < " + u64(m.count_limit());
+        }
+        if (m.start_cycle() != 0) {
+          if (!arrive.empty()) arrive += " && ";
+          arrive += "cycle >= " + u64(m.start_cycle());
+        }
+        if (m.period() != 1) {
+          if (!arrive.empty()) arrive += " && ";
+          arrive += "(cycle - " + u64(m.start_cycle()) + ") % " +
+                    u64(m.period()) + " == 0ull";
+        }
+        if (arrive.empty()) {
+          L("    { ++m.generated; ++m.backlog; }");
+        } else {
+          L("    if (" + arrive + ") { ++m.generated; ++m.backlog; }");
+        }
+        L("    m.backlog_acc.add(static_cast<double>(m.backlog));");
+        if (sl.token) {
+          L("    " + ch(sl.out_chan) + ".en = m.backlog != 0ull ? 1 : 0;");
+        } else {
+          L("    if (m.backlog != 0ull) {");
+          L("      " + ch(sl.out_chan) + ".en = 1;");
+          L("      " + ch(sl.out_chan) +
+            ".val = static_cast<long long>(m.generated - m.backlog);");
+          L("    } else { " + ch(sl.out_chan) + ".en = 0; }");
+        }
+        L("  }");
+        break;
+      }
+      case NativePlan::kQueue: {
+        const auto& m = static_cast<const pcl::Queue&>(*sl.module);
+        L("  { // " + m.name());
+        L("    Que& m = img.que[" + k + "];");
+        L("    m.occ_acc.add(static_cast<double>(m.size));");
+        if (sl.token) {
+          L("    " + ch(sl.out_chan) + ".en = m.size != 0ull ? 1 : 0;");
+        } else {
+          L("    if (m.size != 0ull) {");
+          L("      " + ch(sl.out_chan) + ".en = 1;");
+          L("      " + ch(sl.out_chan) + ".val = m.vals[m.head];");
+          L("    } else { " + ch(sl.out_chan) + ".en = 0; }");
+        }
+        L("    if (m.size < " + u64(m.depth()) + ") { " + ch(sl.in_chan) +
+          ".ack = 1; }");
+        L("    else { " + ch(sl.in_chan) + ".ack = 0; ++m.stall_delta; }");
+        L("  }");
+        break;
+      }
+      case NativePlan::kDelay: {
+        const auto& m = static_cast<const pcl::Delay&>(*sl.module);
+        L("  { // " + m.name());
+        L("    Del& m = img.del[" + k + "];");
+        L("    if (m.size != 0ull && m.ready[m.head] <= cycle) {");
+        L("      " + ch(sl.out_chan) + ".en = 1;");
+        if (!sl.token) {
+          L("      " + ch(sl.out_chan) + ".val = m.vals[m.head];");
+        }
+        L("    } else { " + ch(sl.out_chan) + ".en = 0; }");
+        L("    " + ch(sl.in_chan) + ".ack = m.size < " + u64(m.capacity()) +
+          " ? 1 : 0;");
+        L("  }");
+        break;
+      }
+      case NativePlan::kSink:
+        break;  // Sink has no cycle_start.
+    }
+  }
+  L("}");
+  L("");
+
+  // --- ln_resolve: the only native channels still unresolved after start
+  // are the sinks' AutoAccept backwards.
+  L("void ln_resolve(void* p) {");
+  L("  Image& img = *static_cast<Image*>(p);");
+  bool any_sink = false;
+  for (const NativePlan::Slot& sl : plan.slots) {
+    if (sl.kind == NativePlan::kSink) {
+      L("  " + ch(sl.in_chan) + ".ack = " + ch(sl.in_chan) + ".en;");
+      any_sink = true;
+    }
+  }
+  if (!any_sink) L("  (void)img;");
+  L("}");
+  L("");
+
+  // --- ln_commit: every end_of_cycle body, slot order ---------------------
+  L("void ln_commit(void* p, unsigned long long cycle) {");
+  L("  Image& img = *static_cast<Image*>(p);");
+  L("  (void)cycle;");
+  for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+    const NativePlan::Slot& sl = plan.slots[i];
+    const std::string k = std::to_string(idx[i]);
+    switch (sl.kind) {
+      case NativePlan::kSource: {
+        L("  if (" + ch(sl.out_chan) + ".en && " + ch(sl.out_chan) +
+          ".ack) {");
+        L("    Src& m = img.src[" + k + "];");
+        L("    --m.backlog; ++m.emitted; ++m.emitted_delta;");
+        L("  }");
+        break;
+      }
+      case NativePlan::kQueue: {
+        const auto& m = static_cast<const pcl::Queue&>(*sl.module);
+        L("  { Que& m = img.que[" + k + "];");
+        // Pop before push, like Queue::end_of_cycle.
+        if (sl.token) {
+          L("    if (" + ch(sl.out_chan) + ".en && " + ch(sl.out_chan) +
+            ".ack) { --m.size; ++m.deq_delta; }");
+          L("    if (" + ch(sl.in_chan) + ".en && " + ch(sl.in_chan) +
+            ".ack) { ++m.size; ++m.enq_delta; }");
+        } else {
+          L("    if (" + ch(sl.out_chan) + ".en && " + ch(sl.out_chan) +
+            ".ack) {");
+          L("      if (++m.head == " + u64(m.depth()) + ") m.head = 0ull;");
+          L("      --m.size; ++m.deq_delta;");
+          L("    }");
+          L("    if (" + ch(sl.in_chan) + ".en && " + ch(sl.in_chan) +
+            ".ack) {");
+          L("      unsigned long long t = m.head + m.size;");
+          L("      if (t >= " + u64(m.depth()) + ") t -= " + u64(m.depth()) +
+            ";");
+          L("      m.vals[t] = " + ch(sl.in_chan) + ".val;");
+          L("      ++m.size; ++m.enq_delta;");
+          L("    }");
+        }
+        L("  }");
+        break;
+      }
+      case NativePlan::kDelay: {
+        const auto& m = static_cast<const pcl::Delay&>(*sl.module);
+        L("  { Del& m = img.del[" + k + "];");
+        L("    if (" + ch(sl.out_chan) + ".en && " + ch(sl.out_chan) +
+          ".ack) {");
+        L("      if (++m.head == " + u64(m.capacity()) +
+          ") m.head = 0ull;");
+        L("      --m.size;");
+        L("    }");
+        L("    if (" + ch(sl.in_chan) + ".en && " + ch(sl.in_chan) +
+          ".ack) {");
+        L("      unsigned long long t = m.head + m.size;");
+        L("      if (t >= " + u64(m.capacity()) + ") t -= " +
+          u64(m.capacity()) + ";");
+        if (!sl.token) {
+          L("      m.vals[t] = " + ch(sl.in_chan) + ".val;");
+        }
+        L("      m.ready[t] = cycle + " + u64(m.latency()) + ";");
+        L("      ++m.size;");
+        L("    }");
+        L("  }");
+        break;
+      }
+      case NativePlan::kSink: {
+        const auto& m = static_cast<const pcl::Sink&>(*sl.module);
+        L("  { Snk& m = img.snk[" + k + "];");
+        L("    if (" + ch(sl.in_chan) + ".en && " + ch(sl.in_chan) +
+          ".ack) { ++m.consumed; ++m.consumed_delta; }");
+        if (m.stop_after() != 0) {
+          // Outside the transfer branch, like Sink::end_of_cycle: the stop
+          // condition re-fires every cycle once reached.
+          L("    if (m.consumed >= " + u64(m.stop_after()) +
+            ") img.host.stop(img.host.ctx, " + std::to_string(i) + "u);");
+        }
+        L("  }");
+        break;
+      }
+    }
+  }
+  L("}");
+  L("");
+
+  // --- ln_export / ln_import: mirror the save_state slot layouts ----------
+  L("void ln_export(void* p, unsigned slot) {");
+  L("  Image& img = *static_cast<Image*>(p);");
+  L("  LnHost& h = img.host;");
+  L("  switch (slot) {");
+  for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+    const NativePlan::Slot& sl = plan.slots[i];
+    const std::string k = std::to_string(idx[i]);
+    L("    case " + std::to_string(i) + ": {");
+    switch (sl.kind) {
+      case NativePlan::kSource:
+        L("      Src& m = img.src[" + k + "];");
+        L("      h.put_u64(h.ctx, m.rng[0]); h.put_u64(h.ctx, m.rng[1]);");
+        L("      h.put_u64(h.ctx, m.rng[2]); h.put_u64(h.ctx, m.rng[3]);");
+        L("      h.put_u64(h.ctx, m.generated);");
+        L("      h.put_u64(h.ctx, m.emitted);");
+        L("      h.put_u64(h.ctx, m.backlog);");
+        L("      for (unsigned long long j = 0; j < m.backlog; ++j) {");
+        if (sl.token) {
+          L("        h.put_tok(h.ctx);");
+        } else {
+          L("        h.put_i64(h.ctx,");
+          L("                  static_cast<long long>(m.generated -"
+            " m.backlog + j));");
+        }
+        L("      }");
+        break;
+      case NativePlan::kQueue: {
+        const auto& q = static_cast<const pcl::Queue&>(*sl.module);
+        L("      Que& m = img.que[" + k + "];");
+        L("      h.put_u64(h.ctx, m.size);");
+        L("      for (unsigned long long j = 0; j < m.size; ++j) {");
+        if (sl.token) {
+          L("        h.put_tok(h.ctx);");
+        } else {
+          L("        h.put_i64(h.ctx, m.vals[(m.head + j) % " +
+            u64(q.depth()) + "]);");
+        }
+        L("      }");
+        break;
+      }
+      case NativePlan::kDelay: {
+        const auto& d = static_cast<const pcl::Delay&>(*sl.module);
+        L("      Del& m = img.del[" + k + "];");
+        L("      h.put_u64(h.ctx, m.size);");
+        L("      for (unsigned long long j = 0; j < m.size; ++j) {");
+        L("        unsigned long long t = (m.head + j) % " +
+          u64(d.capacity()) + ";");
+        if (sl.token) {
+          L("        h.put_tok(h.ctx);");
+        } else {
+          L("        h.put_i64(h.ctx, m.vals[t]);");
+        }
+        L("        h.put_u64(h.ctx, m.ready[t]);");
+        L("      }");
+        break;
+      }
+      case NativePlan::kSink:
+        L("      h.put_u64(h.ctx, img.snk[" + k + "].consumed);");
+        break;
+    }
+    L("    } break;");
+  }
+  L("    default: break;");
+  L("  }");
+  L("}");
+  L("");
+  L("void ln_import(void* p, unsigned slot) {");
+  L("  Image& img = *static_cast<Image*>(p);");
+  L("  LnHost& h = img.host;");
+  L("  switch (slot) {");
+  for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+    const NativePlan::Slot& sl = plan.slots[i];
+    const std::string k = std::to_string(idx[i]);
+    L("    case " + std::to_string(i) + ": {");
+    switch (sl.kind) {
+      case NativePlan::kSource:
+        L("      Src& m = img.src[" + k + "];");
+        L("      m.rng[0] = h.get_u64(h.ctx); m.rng[1] = h.get_u64(h.ctx);");
+        L("      m.rng[2] = h.get_u64(h.ctx); m.rng[3] = h.get_u64(h.ctx);");
+        L("      m.generated = h.get_u64(h.ctx);");
+        L("      m.emitted = h.get_u64(h.ctx);");
+        L("      m.backlog = h.get_u64(h.ctx);");
+        // Counter backlog values are the consecutive run ending at
+        // generated-1 (the emitter only owns sources it generated for), so
+        // the slots are consumed and the count representation stands.
+        L("      for (unsigned long long j = 0; j < m.backlog; ++j) {");
+        if (sl.token) {
+          L("        h.get_tok(h.ctx);");
+        } else {
+          L("        (void)h.get_i64(h.ctx);");
+        }
+        L("      }");
+        break;
+      case NativePlan::kQueue: {
+        L("      Que& m = img.que[" + k + "];");
+        L("      m.head = 0ull;");
+        L("      m.size = h.get_u64(h.ctx);");
+        L("      for (unsigned long long j = 0; j < m.size; ++j) {");
+        if (sl.token) {
+          L("        h.get_tok(h.ctx);");
+        } else {
+          L("        m.vals[j] = h.get_i64(h.ctx);");
+        }
+        L("      }");
+        break;
+      }
+      case NativePlan::kDelay: {
+        L("      Del& m = img.del[" + k + "];");
+        L("      m.head = 0ull;");
+        L("      m.size = h.get_u64(h.ctx);");
+        L("      for (unsigned long long j = 0; j < m.size; ++j) {");
+        if (sl.token) {
+          L("        h.get_tok(h.ctx);");
+        } else {
+          L("        m.vals[j] = h.get_i64(h.ctx);");
+        }
+        L("        m.ready[j] = h.get_u64(h.ctx);");
+        L("      }");
+        break;
+      }
+      case NativePlan::kSink:
+        L("      img.snk[" + k + "].consumed = h.get_u64(h.ctx);");
+        break;
+    }
+    L("    } break;");
+  }
+  L("    default: break;");
+  L("  }");
+  L("}");
+  L("");
+
+  // --- ln_flush_stats: shadow deltas -> host StatSet, then reset ----------
+  // Counters flush only when nonzero (the in-object modules bind them on
+  // first event); accumulators flush whenever they sampled (bound
+  // unconditionally every cycle_start).
+  L("void ln_flush_stats(void* p) {");
+  L("  Image& img = *static_cast<Image*>(p);");
+  L("  LnHost& h = img.host;");
+  for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+    const NativePlan::Slot& sl = plan.slots[i];
+    const std::string k = std::to_string(idx[i]);
+    const std::string slot = std::to_string(i) + "u";
+    const auto counter = [&](const std::string& obj, const std::string& fld,
+                             const std::string& name) {
+      L("    if (" + obj + "." + fld + " != 0ull) {");
+      L("      h.stat_counter(h.ctx, " + slot + ", \"" + name + "\", " + obj +
+        "." + fld + ");");
+      L("      " + obj + "." + fld + " = 0ull;");
+      L("    }");
+    };
+    const auto acc = [&](const std::string& obj, const std::string& fld,
+                         const std::string& name) {
+      L("    if (" + obj + "." + fld + ".n != 0ull) {");
+      L("      h.stat_acc(h.ctx, " + slot + ", \"" + name + "\", " + obj +
+        "." + fld + ".n, " + obj + "." + fld + ".sum, " + obj + "." + fld +
+        ".mn, " + obj + "." + fld + ".mx);");
+      L("      " + obj + "." + fld + ".reset();");
+      L("    }");
+    };
+    switch (sl.kind) {
+      case NativePlan::kSource:
+        L("  { Src& m = img.src[" + k + "];");
+        acc("m", "backlog_acc", "backlog");
+        counter("m", "emitted_delta", "emitted");
+        L("  }");
+        break;
+      case NativePlan::kQueue:
+        L("  { Que& m = img.que[" + k + "];");
+        acc("m", "occ_acc", "occupancy");
+        counter("m", "enq_delta", "enqueued");
+        counter("m", "deq_delta", "dequeued");
+        counter("m", "stall_delta", "full_stalls");
+        L("  }");
+        break;
+      case NativePlan::kDelay:
+        break;  // Delay publishes no stats.
+      case NativePlan::kSink:
+        L("  { Snk& m = img.snk[" + k + "];");
+        counter("m", "consumed_delta", "consumed");
+        L("  }");
+        break;
+    }
+  }
+  L("}");
+  L("");
+  L("}  // extern \"C\"");
+  return s;
+}
+
+}  // namespace liberty::gen

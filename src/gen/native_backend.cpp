@@ -1,0 +1,235 @@
+// Native codegen, part 2: the toolchain driver (only compiled when
+// LIBERTY_NATIVE_CODEGEN is ON).
+//
+// Responsibilities: identify the host compiler, content-address the
+// artifact on (generated source, compiler identification, -O level),
+// reuse a cached shared object when one exists, otherwise compile and
+// publish it atomically, then dlopen and resolve the ln_* entry points.
+// Every failure mode — no compiler, compile error, dlopen or symbol
+// failure, ABI mismatch, or the LIBERTY_NATIVE_FORCE_FAIL=1 test override
+// — is reported as one reason string; the scheduler degrades to bytecode.
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "liberty/gen/native.hpp"
+#include "native_impl.hpp"
+
+namespace liberty::gen {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string quoted(const std::string& s) { return "'" + s + "'"; }
+
+std::string compiler_path() {
+  if (const char* env = std::getenv("LIBERTY_NATIVE_CXX");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+#ifdef LIBERTY_NATIVE_CXX_DEFAULT
+  return LIBERTY_NATIVE_CXX_DEFAULT;
+#else
+  return "c++";
+#endif
+}
+
+int backend_opt_level() {
+  if (const char* env = std::getenv("LIBERTY_NATIVE_OPT");
+      env != nullptr && env[0] != '\0') {
+    const int v = std::atoi(env);
+    if (v >= 0 && v <= 3) return v;
+  }
+  const int v = native_options().backend_opt;
+  return v >= 0 && v <= 3 ? v : 2;
+}
+
+fs::path cache_dir() {
+  if (const std::string& dir = native_options().cache_dir; !dir.empty()) {
+    return dir;
+  }
+  if (const char* env = std::getenv("LIBERTY_NATIVE_CACHE_DIR");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return fs::temp_directory_path() / "liberty-native-cache";
+}
+
+/// First line of `<cxx> --version` — the cache-key ingredient that retires
+/// stale artifacts across compiler upgrades.  Empty on failure.
+std::string compiler_identification(const std::string& cxx) {
+  FILE* pipe = ::popen((quoted(cxx) + " --version 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) return {};
+  char buf[512];
+  std::string line;
+  if (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+    line = buf;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+  }
+  ::pclose(pipe);
+  return line;
+}
+
+std::string hex_key(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+bool resolve_symbols(LoadedImage& img, std::string& err) {
+  const auto sym = [&](const char* name) -> void* {
+    void* p = ::dlsym(img.dl, name);
+    if (p == nullptr && err.empty()) {
+      err = std::string("artifact lacks symbol ") + name;
+    }
+    return p;
+  };
+  img.abi_version =
+      reinterpret_cast<unsigned (*)()>(sym("ln_abi_version"));
+  img.create =
+      reinterpret_cast<void* (*)(const LnHost*)>(sym("ln_create"));
+  img.destroy = reinterpret_cast<void (*)(void*)>(sym("ln_destroy"));
+  img.start = reinterpret_cast<void (*)(void*, unsigned long long)>(
+      sym("ln_start"));
+  img.resolve = reinterpret_cast<void (*)(void*)>(sym("ln_resolve"));
+  img.commit = reinterpret_cast<void (*)(void*, unsigned long long)>(
+      sym("ln_commit"));
+  img.chans = reinterpret_cast<LnChan* (*)(void*)>(sym("ln_chans"));
+  img.export_state =
+      reinterpret_cast<void (*)(void*, unsigned)>(sym("ln_export"));
+  img.import_state =
+      reinterpret_cast<void (*)(void*, unsigned)>(sym("ln_import"));
+  img.flush_stats =
+      reinterpret_cast<void (*)(void*)>(sym("ln_flush_stats"));
+  if (!err.empty()) return false;
+  if (const unsigned v = img.abi_version(); v != kLnAbiVersion) {
+    err = "artifact ABI v" + std::to_string(v) + ", host expects v" +
+          std::to_string(kLnAbiVersion);
+    return false;
+  }
+  return true;
+}
+
+bool dlopen_artifact(const fs::path& so, LoadedImage& img, std::string& err) {
+  img.dl = ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (img.dl == nullptr) {
+    const char* why = ::dlerror();
+    err = "dlopen failed: " + std::string(why != nullptr ? why : "unknown");
+    return false;
+  }
+  if (!resolve_symbols(img, err)) {
+    ::dlclose(img.dl);
+    img = LoadedImage{};
+    return false;
+  }
+  return true;
+}
+
+bool compile_artifact(const std::string& cxx, const fs::path& cpp,
+                      const fs::path& so, int opt, std::string& err) {
+  const fs::path tmp_so = so.string() + ".tmp." +
+                          std::to_string(static_cast<unsigned>(::getpid()));
+  const fs::path log = so.string() + ".log";
+  std::ostringstream cmd;
+  cmd << quoted(cxx) << " -std=c++17 -shared -fPIC -O" << opt << " -o "
+      << quoted(tmp_so.string()) << " " << quoted(cpp.string()) << " > "
+      << quoted(log.string()) << " 2>&1";
+  detail::compile_invocation_counter().fetch_add(1,
+                                                 std::memory_order_relaxed);
+  const int rc = std::system(cmd.str().c_str());
+  if (rc != 0) {
+    std::string first_line;
+    std::ifstream in(log);
+    std::getline(in, first_line);
+    err = "host compiler exited with status " + std::to_string(rc);
+    if (!first_line.empty()) err += ": " + first_line;
+    std::error_code ec;
+    fs::remove(tmp_so, ec);
+    return false;
+  }
+  // Atomic publication: concurrent processes race to rename, last one
+  // wins, every winner's file has identical content (same cache key).
+  std::error_code ec;
+  fs::rename(tmp_so, so, ec);
+  if (ec) {
+    err = "cache publish failed: " + ec.message();
+    fs::remove(tmp_so, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool native_available() noexcept { return true; }
+
+bool load_native_image(const std::string& source, LoadedImage& img,
+                       std::string& err) {
+  err.clear();
+  if (const char* force = std::getenv("LIBERTY_NATIVE_FORCE_FAIL");
+      force != nullptr && force[0] == '1') {
+    err = "forced failure (LIBERTY_NATIVE_FORCE_FAIL=1)";
+    return false;
+  }
+
+  const std::string cxx = compiler_path();
+  const std::string id = compiler_identification(cxx);
+  if (id.empty()) {
+    err = "host compiler '" + cxx + "' not found or not runnable";
+    return false;
+  }
+  const int opt = backend_opt_level();
+  const std::uint64_t key = native_cache_key(source, id, opt);
+
+  std::error_code ec;
+  const fs::path dir = cache_dir();
+  fs::create_directories(dir, ec);
+  if (ec) {
+    err = "cache directory '" + dir.string() +
+          "' not creatable: " + ec.message();
+    return false;
+  }
+  const fs::path so = dir / ("ln_" + hex_key(key) + ".so");
+  const fs::path cpp = dir / ("ln_" + hex_key(key) + ".cpp");
+
+  if (fs::exists(so, ec) && dlopen_artifact(so, img, err)) {
+    return true;  // cache hit: no compiler invocation
+  }
+  err.clear();
+
+  {
+    // Keep the source next to the artifact (diagnosis; also what
+    // lss_run --dump-native-src points users at).
+    const fs::path tmp = cpp.string() + ".tmp." +
+                         std::to_string(static_cast<unsigned>(::getpid()));
+    std::ofstream out(tmp);
+    out << source;
+    out.close();
+    if (!out) {
+      err = "cannot write generated source to '" + cpp.string() + "'";
+      fs::remove(tmp, ec);
+      return false;
+    }
+    fs::rename(tmp, cpp, ec);
+  }
+
+  if (!compile_artifact(cxx, cpp, so, opt, err)) return false;
+  return dlopen_artifact(so, img, err);
+}
+
+void unload_native_image(LoadedImage& img) {
+  if (img.dl != nullptr) ::dlclose(img.dl);
+  img = LoadedImage{};
+}
+
+}  // namespace liberty::gen

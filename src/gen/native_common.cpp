@@ -1,0 +1,56 @@
+// Native codegen pieces that exist in every build, including
+// -DLIBERTY_NATIVE_CODEGEN=OFF: the options block (front ends parse their
+// flags unconditionally), the compile-invocation counter (reads zero when
+// the backend never runs), and the pure cache-key function (unit-tested
+// without a toolchain).
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "liberty/gen/native.hpp"
+
+namespace liberty::gen {
+
+NativeOptions& native_options() {
+  static NativeOptions opts;
+  return opts;
+}
+
+namespace detail {
+
+std::atomic<std::uint64_t>& compile_invocation_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+}  // namespace detail
+
+std::uint64_t native_compile_invocations() noexcept {
+  return detail::compile_invocation_counter().load(std::memory_order_relaxed);
+}
+
+std::uint64_t native_cache_key(std::string_view source,
+                               std::string_view compiler_id,
+                               int backend_opt) noexcept {
+  // FNV-1a, with a field separator mixed in between ingredients so that
+  // moving bytes across a boundary cannot collide.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  const auto mix = [&](std::string_view s) {
+    for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(0xffu);
+  };
+  mix(source);
+  mix(compiler_id);
+  auto v = static_cast<std::uint64_t>(backend_opt);
+  for (int i = 0; i < 8; ++i) {
+    mix_byte(static_cast<unsigned char>(v & 0xffu));
+    v >>= 8;
+  }
+  return h;
+}
+
+}  // namespace liberty::gen

@@ -1,0 +1,145 @@
+// Internals of the native codegen backend (liberty/gen/native.hpp is the
+// public face).  Three pieces:
+//
+//   * the runtime ABI the generated translation unit exports (LnChan,
+//     LnHost, the ln_* entry points) — the contract is documented in
+//     docs/codegen.md and versioned through kLnAbiVersion;
+//   * NativePlan, the eligibility analysis result (which modules/channels
+//     the emitter owns, plus the exclusion masks handed to the bytecode
+//     lowerer for the residue);
+//   * the emitter and the toolchain driver entry points.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "liberty/core/netlist.hpp"
+#include "liberty/core/opt.hpp"
+#include "liberty/core/scheduler.hpp"
+
+namespace liberty::gen {
+
+// ---------------------------------------------------------------------------
+// Runtime ABI (host-side mirror of the declarations the emitter writes).
+// C layout throughout: the generated TU is compiled by whatever host
+// compiler is available, possibly not the one that built this library.
+
+/// One channel's POD image, in netlist connection-id order (ln_chans).
+/// `val` carries the forward payload for integer lanes; token lanes leave
+/// it untouched.  en/ack are 0/1 — the image rewrites both every cycle, so
+/// there is no Unknown encoding.
+struct LnChan {
+  unsigned char en;
+  unsigned char ack;
+  long long val;
+};
+
+/// Host services passed to ln_create.  `ctx` threads back through every
+/// callback.  put_*/get_* stream state slots during ln_export/ln_import
+/// (the host holds an active StateWriter/StateReader); stat_counter /
+/// stat_acc flush shadow statistics during ln_flush_stats; stop forwards a
+/// sink's request_stop.
+struct LnHost {
+  void* ctx;
+  void (*stop)(void* ctx, unsigned mod_slot);
+  void (*put_u64)(void* ctx, unsigned long long v);
+  void (*put_i64)(void* ctx, long long v);
+  void (*put_tok)(void* ctx);
+  unsigned long long (*get_u64)(void* ctx);
+  long long (*get_i64)(void* ctx);
+  void (*get_tok)(void* ctx);
+  void (*stat_counter)(void* ctx, unsigned mod_slot, const char* name,
+                       unsigned long long delta);
+  void (*stat_acc)(void* ctx, unsigned mod_slot, const char* name,
+                   unsigned long long count, double sum, double min,
+                   double max);
+};
+
+/// Bumped on any layout or semantic change to the contract above or to the
+/// ln_* signatures; a loaded image reporting a different version is
+/// rejected (stale cache entries from older builds are keyed out by source
+/// content anyway, so this guards only hand-edited artifacts).
+inline constexpr unsigned kLnAbiVersion = 1;
+
+/// A dlopened, symbol-resolved artifact.
+struct LoadedImage {
+  void* dl = nullptr;
+  unsigned (*abi_version)() = nullptr;
+  void* (*create)(const LnHost* host) = nullptr;
+  void (*destroy)(void* img) = nullptr;
+  void (*start)(void* img, unsigned long long cycle) = nullptr;
+  void (*resolve)(void* img) = nullptr;
+  void (*commit)(void* img, unsigned long long cycle) = nullptr;
+  LnChan* (*chans)(void* img) = nullptr;
+  void (*export_state)(void* img, unsigned mod_slot) = nullptr;
+  void (*import_state)(void* img, unsigned mod_slot) = nullptr;
+  void (*flush_stats)(void* img) = nullptr;
+
+  [[nodiscard]] bool loaded() const noexcept { return dl != nullptr; }
+};
+
+// ---------------------------------------------------------------------------
+// Eligibility analysis.
+
+/// What the image executes.  Slots index `modules` (ln_export/ln_import
+/// address modules by slot); `channels` fixes the LnChan array order.
+struct NativePlan {
+  enum Kind : std::uint8_t { kSource = 0, kQueue = 1, kDelay = 2, kSink = 3 };
+  struct Slot {
+    liberty::core::Module* module = nullptr;
+    Kind kind = kSource;
+    bool token = false;          // lane carries tokens (no payload)
+    std::int32_t in_chan = -1;   // LnChan index of the input connection
+    std::int32_t out_chan = -1;  // LnChan index of the output connection
+  };
+  std::vector<Slot> slots;
+  std::vector<liberty::core::Connection*> channels;
+  std::vector<char> channel_token;  // parallel to channels: token lane
+  std::vector<char> module_mask;  // by ModuleId: image-owned modules
+  std::vector<char> scc_mask;     // by SCC index: image-owned channels
+
+  [[nodiscard]] bool empty() const noexcept { return slots.empty(); }
+};
+
+/// Find every image-executable component: whole weakly-connected linear
+/// chains Source -> {Queue|Delay}* -> Sink of stock PCL modules (exact
+/// typeid) whose parameters stay inside the emitter's recipe — counter or
+/// token payloads, deterministic arrivals, no ack bypass, no consume
+/// hooks, no stamps — and whose channels are gate-free singleton SCCs,
+/// untouched by quarantine and by the optimizer plan.  All-or-nothing per
+/// component: one ineligible member rejects the whole chain (the bytecode
+/// tapes keep it), so no handshake ever crosses the image boundary.
+[[nodiscard]] NativePlan analyze_native(liberty::core::Netlist& netlist,
+                                        const liberty::core::ScheduleGraph& graph,
+                                        const liberty::core::OptPlan* plan);
+
+/// Lower the plan to one self-contained C++ translation unit implementing
+/// the ln_* ABI for exactly these modules, bit-identically to their
+/// in-object implementations.
+[[nodiscard]] std::string emit_native_source(const NativePlan& plan);
+
+// ---------------------------------------------------------------------------
+// Toolchain driver.
+
+/// Compile `source` (or reuse the content-addressed cache entry) and
+/// dlopen the artifact.  On success returns true and fills `img`; on any
+/// failure — no usable compiler, compile error, dlopen/symbol/ABI mismatch,
+/// or the LIBERTY_NATIVE_FORCE_FAIL=1 override — returns false with a
+/// one-line reason in `err` and leaves `img` empty.
+[[nodiscard]] bool load_native_image(const std::string& source,
+                                     LoadedImage& img, std::string& err);
+
+/// dlclose + destroy-function bookkeeping (safe on an empty image).
+void unload_native_image(LoadedImage& img);
+
+namespace detail {
+
+/// Bumped by the toolchain driver once per host-compiler invocation
+/// (defined with the options block so OFF builds read zero).
+std::atomic<std::uint64_t>& compile_invocation_counter();
+
+}  // namespace detail
+
+}  // namespace liberty::gen

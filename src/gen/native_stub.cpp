@@ -1,0 +1,14 @@
+// Native codegen stubs for -DLIBERTY_NATIVE_CODEGEN=OFF builds: the
+// public surface stays linkable (front ends parse flags and call
+// register_native_scheduler unconditionally), the backend simply never
+// engages, and SchedulerKind::Native degrades to the compiled bytecode
+// scheduler inside Simulator (see core/simulator.hpp).
+#include "liberty/gen/native.hpp"
+
+namespace liberty::gen {
+
+bool native_available() noexcept { return false; }
+
+void register_native_scheduler() {}
+
+}  // namespace liberty::gen

@@ -95,6 +95,7 @@ std::string kind_name(SchedulerKind kind) {
     case SchedulerKind::Static: return "static";
     case SchedulerKind::Parallel: return "parallel";
     case SchedulerKind::Compiled: return "compiled";
+    case SchedulerKind::Native: return "native";
   }
   return "?";
 }
@@ -238,6 +239,13 @@ OracleResult run_oracle(const NetSpec& spec,
                   Candidate{SchedulerKind::Parallel, 8},
                   Candidate{SchedulerKind::Compiled, 0},
                   Candidate{SchedulerKind::Compiled, 0, /*opt_level=*/2}};
+#if defined(LIBERTY_NATIVE_CODEGEN)
+    // The native backend rides the default matrix only when built in;
+    // whatever the emitter declines runs on its bytecode fallback, so
+    // every netlist is still a valid native candidate.
+    candidates.push_back(Candidate{SchedulerKind::Native, 0});
+    candidates.push_back(Candidate{SchedulerKind::Native, 0, /*opt_level=*/2});
+#endif
   }
 
   const Cycle every =
