@@ -40,6 +40,17 @@
 //     --digest            print trace + state digests for bit-exactness
 //                         comparisons
 //
+// Durability (docs/resilience.md, "Durable checkpoints") — these imply the
+// supervised loop (with policy abort unless --recover says otherwise):
+//     --checkpoint-dir DIR  spill each checkpoint to DIR (atomic
+//                         tmp+fsync+rename files; see --checkpoint-every)
+//     --checkpoint-keep K retention: newest K checkpoint files      [4]
+//     --resume            cold-start from the newest valid checkpoint in
+//                         --checkpoint-dir; corrupt/torn files are listed
+//                         and skipped, an empty dir starts from cycle 0
+//     --kill-at N         raise(SIGKILL) after cycle N commits (crash-
+//                         recovery harness aid)
+//
 // Options also accept --flag=value spelling.
 //
 // This is the Figure-1 pipeline end to end: specification in, executable
@@ -67,6 +78,7 @@
 #include "liberty/obs/trace.hpp"
 #include "liberty/opt/optimizer.hpp"
 #include "liberty/pcl/pcl.hpp"
+#include "liberty/resil/durable.hpp"
 #include "liberty/resil/fault_plan.hpp"
 #include "liberty/resil/injector.hpp"
 #include "liberty/resil/recovery.hpp"
@@ -107,7 +119,9 @@ int usage(const char* argv0) {
                "       [--metrics FILE] [--metrics-csv FILE]\n"
                "       [--heartbeat N] [--quiet]\n"
                "       [--faults FILE] [--watchdog] [--max-iters N]\n"
-               "       [--checkpoint-every N] [--recover POLICY] [--digest]\n",
+               "       [--checkpoint-every N] [--recover POLICY] [--digest]\n"
+               "       [--checkpoint-dir DIR] [--checkpoint-keep K]\n"
+               "       [--resume] [--kill-at N]\n",
                argv0);
   return 2;
 }
@@ -137,6 +151,10 @@ int main(int argc, char** argv) {
   std::uint64_t checkpoint_every = 64;
   std::string recover_policy;
   bool want_digest = false;
+  std::string checkpoint_dir;
+  std::uint64_t checkpoint_keep = 4;
+  bool want_resume = false;
+  std::uint64_t kill_at = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -211,6 +229,14 @@ int main(int argc, char** argv) {
       recover_policy = next();
     } else if (arg == "--digest") {
       want_digest = true;
+    } else if (arg == "--checkpoint-dir") {
+      checkpoint_dir = next();
+    } else if (arg == "--checkpoint-keep") {
+      checkpoint_keep = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--resume") {
+      want_resume = true;
+    } else if (arg == "--kill-at") {
+      kill_at = std::strtoull(next(), nullptr, 10);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -218,6 +244,11 @@ int main(int argc, char** argv) {
     }
   }
   if (spec_path.empty()) return usage(argv[0]);
+  if ((want_resume || kill_at != 0) && checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --resume/--kill-at require --checkpoint-dir\n");
+    return 2;
+  }
 
   liberty::core::ModuleRegistry registry;
   liberty::pcl::register_pcl(registry);
@@ -285,17 +316,39 @@ int main(int argc, char** argv) {
       watchdog.set_baseline(rec.take_baseline());
     }
 
-    if (!recover_policy.empty()) {
+    if (!recover_policy.empty() || !checkpoint_dir.empty()) {
       // Supervised run: the Supervisor owns the simulator and the
-      // simulate-detect-recover loop (docs/resilience.md).
+      // simulate-detect-recover loop (docs/resilience.md).  With a
+      // checkpoint directory the DurableSupervisor variant also spills
+      // each checkpoint to disk and (--resume) cold-starts from the
+      // newest valid file.
       liberty::resil::SupervisorConfig scfg;
       scfg.scheduler = kind;
       scfg.threads = threads;
       scfg.checkpoint_every = checkpoint_every;
-      scfg.policy = liberty::resil::policy_from_name(recover_policy);
+      scfg.policy = recover_policy.empty()
+                        ? liberty::resil::RecoveryPolicy::Abort
+                        : liberty::resil::policy_from_name(recover_policy);
       scfg.iteration_cap = max_iters;
-      liberty::resil::Supervisor sup(netlist, scfg, injector.get(),
-                                     want_watchdog ? &watchdog : nullptr);
+      std::unique_ptr<liberty::resil::Supervisor> sup_owner;
+      liberty::resil::DurableSupervisor* dsup = nullptr;
+      if (!checkpoint_dir.empty()) {
+        liberty::resil::DurableConfig dcfg;
+        dcfg.dir = checkpoint_dir;
+        dcfg.keep_last = checkpoint_keep;
+        dcfg.resume = want_resume;
+        dcfg.kill_at = kill_at;
+        auto owner = std::make_unique<liberty::resil::DurableSupervisor>(
+            netlist, scfg, dcfg, injector.get(),
+            want_watchdog ? &watchdog : nullptr);
+        dsup = owner.get();
+        sup_owner = std::move(owner);
+      } else {
+        sup_owner = std::make_unique<liberty::resil::Supervisor>(
+            netlist, scfg, injector.get(),
+            want_watchdog ? &watchdog : nullptr);
+      }
+      liberty::resil::Supervisor& sup = *sup_owner;
       const liberty::resil::RecoveryReport rep = sup.run(cycles);
       for (const std::string& ev : rep.events) {
         std::fprintf(stderr, "recovery: %s\n", ev.c_str());
@@ -319,6 +372,8 @@ int main(int argc, char** argv) {
           reg.collect_scheduler(sup.simulator()->scheduler());
         }
         if (want_watchdog) watchdog.export_metrics(reg);
+        if (dsup != nullptr) dsup->export_metrics(reg);
+        liberty::gen::export_native_metrics(reg);
         liberty::obs::RunMeta meta;
         meta.tool = "lss_run";
         meta.spec = spec_path;
@@ -437,6 +492,7 @@ int main(int argc, char** argv) {
       reg.collect_scheduler(sim.scheduler());
       reg.collect_profile(profiler, &netlist);
       if (want_watchdog) watchdog.export_metrics(reg);
+      liberty::gen::export_native_metrics(reg);
       liberty::obs::RunMeta meta;
       meta.tool = "lss_run";
       meta.spec = spec_path;

@@ -26,6 +26,15 @@
 //     --print-spec          print the NetSpec rendering and exit
 //     --quiet               suppress the per-module statistics dump
 //
+// Durability (docs/resilience.md, "Durable checkpoints") — same flags and
+// same diagnostic message path as lss_run:
+//     --checkpoint-dir DIR  spill checkpoints to DIR and run supervised
+//     --checkpoint-every N  spill interval in cycles              [64]
+//     --checkpoint-keep K   retention: newest K checkpoint files  [4]
+//     --resume              cold-start from the newest valid checkpoint;
+//                           corrupt/torn files are listed and skipped
+//     --kill-at N           raise(SIGKILL) after cycle N commits
+//
 // Options also accept --flag=value spelling.  The run always reports
 // injected/completed request counts, end-to-end latency percentiles
 // (p50/p95/p99), throughput, and the mesh's Orion energy and thermal
@@ -43,8 +52,11 @@
 
 #include "liberty/core/simulator.hpp"
 #include "liberty/gen/compiled_scheduler.hpp"
+#include "liberty/gen/native.hpp"
 #include "liberty/obs/metrics.hpp"
 #include "liberty/opt/optimizer.hpp"
+#include "liberty/resil/durable.hpp"
+#include "liberty/resil/recovery.hpp"
 #include "liberty/resil/watchdog.hpp"
 #include "liberty/scenario/rack.hpp"
 #include "liberty/scenario/trace_modules.hpp"
@@ -59,7 +71,9 @@ int usage(const char* argv0) {
       "       [--trace FILE] [--seed N] [--requests N] [--cycles N]\n"
       "       [--scheduler dyn|static|parallel|compiled|native] [--threads N]\n"
       "       [--opt-level N] [--metrics FILE] [--metrics-csv FILE]\n"
-      "       [--digest] [--records] [--print-spec] [--quiet]\n",
+      "       [--digest] [--records] [--print-spec] [--quiet]\n"
+      "       [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+      "       [--checkpoint-keep K] [--resume] [--kill-at N]\n",
       argv0);
   return 2;
 }
@@ -89,6 +103,11 @@ int main(int argc, char** argv) {
   bool want_records = false;
   bool print_spec = false;
   bool quiet = false;
+  std::string checkpoint_dir;
+  std::uint64_t checkpoint_every = 64;
+  std::uint64_t checkpoint_keep = 4;
+  bool want_resume = false;
+  std::uint64_t kill_at = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -158,9 +177,24 @@ int main(int argc, char** argv) {
       print_spec = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--checkpoint-dir") {
+      checkpoint_dir = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--checkpoint-keep") {
+      checkpoint_keep = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--resume") {
+      want_resume = true;
+    } else if (arg == "--kill-at") {
+      kill_at = std::strtoull(next(), nullptr, 10);
     } else {
       return usage(argv[0]);
     }
+  }
+  if ((want_resume || kill_at != 0) && checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --resume/--kill-at require --checkpoint-dir\n");
+    return 2;
   }
 
   try {
@@ -192,13 +226,54 @@ int main(int argc, char** argv) {
         netlist, liberty::opt::OptOptions::for_level(opt_level));
     if (!quiet) std::printf("%s\n", rep.summary().c_str());
 
-    liberty::core::Simulator sim(netlist, kind, threads);
+    // Durable mode routes through the DurableSupervisor (spill + resume +
+    // --kill-at); otherwise a bare simulator runs the scenario.  Both end
+    // with the netlist carrying the same module state, so the aggregate
+    // reporting below is shared.
+    std::unique_ptr<liberty::core::Simulator> sim_owner;
+    std::unique_ptr<liberty::resil::DurableSupervisor> sup;
     std::unique_ptr<liberty::resil::TraceRecorder> recorder;
-    if (want_digest) {
-      recorder = std::make_unique<liberty::resil::TraceRecorder>(netlist);
-      sim.set_probe(recorder.get());
+    std::uint64_t ran = 0;
+    std::uint64_t trace_digest = 0;
+    std::uint64_t state_digest = 0;
+    if (!checkpoint_dir.empty()) {
+      liberty::resil::SupervisorConfig scfg;
+      scfg.scheduler = kind;
+      scfg.threads = threads;
+      scfg.checkpoint_every = checkpoint_every;
+      scfg.policy = liberty::resil::RecoveryPolicy::Abort;
+      liberty::resil::DurableConfig dcfg;
+      dcfg.dir = checkpoint_dir;
+      dcfg.keep_last = checkpoint_keep;
+      dcfg.resume = want_resume;
+      dcfg.aux_seed = cfg.seed;
+      dcfg.kill_at = kill_at;
+      sup = std::make_unique<liberty::resil::DurableSupervisor>(netlist, scfg,
+                                                                dcfg);
+      const liberty::resil::RecoveryReport rrep = sup->run(cfg.cycles);
+      for (const std::string& ev : rrep.events) {
+        std::fprintf(stderr, "recovery: %s\n", ev.c_str());
+      }
+      if (!rrep.completed) {
+        std::fprintf(stderr, "error: %s\n", rrep.error.c_str());
+        return 1;
+      }
+      ran = rrep.cycles;
+      trace_digest = rrep.trace_digest();
+      state_digest = rrep.state_digest;
+    } else {
+      sim_owner =
+          std::make_unique<liberty::core::Simulator>(netlist, kind, threads);
+      if (want_digest) {
+        recorder = std::make_unique<liberty::resil::TraceRecorder>(netlist);
+        sim_owner->set_probe(recorder.get());
+      }
+      ran = sim_owner->run(cfg.cycles);
+      if (want_digest) {
+        trace_digest = liberty::resil::fold_trace(recorder->hashes());
+        state_digest = sim_owner->snapshot().digest();
+      }
     }
-    const std::uint64_t ran = sim.run(cfg.cycles);
 
     // Rack-level aggregates from the trace endpoints.
     std::uint64_t injected = 0;
@@ -246,18 +321,20 @@ int main(int argc, char** argv) {
         power.max_temperature_c);
 
     if (want_digest) {
-      const std::uint64_t trace_digest =
-          liberty::resil::fold_trace(recorder->hashes());
       std::printf("digest: trace=%016llx state=%016llx cycles=%llu\n",
                   static_cast<unsigned long long>(trace_digest),
-                  static_cast<unsigned long long>(sim.snapshot().digest()),
+                  static_cast<unsigned long long>(state_digest),
                   static_cast<unsigned long long>(ran));
     }
 
     if (!metrics_path.empty() || !metrics_csv_path.empty()) {
       liberty::obs::MetricsRegistry reg;
       reg.collect_modules(netlist);
-      reg.collect_scheduler(sim.scheduler());
+      liberty::core::Simulator* live_sim =
+          sup != nullptr ? sup->simulator() : sim_owner.get();
+      if (live_sim != nullptr) reg.collect_scheduler(live_sim->scheduler());
+      if (sup != nullptr) sup->export_metrics(reg);
+      liberty::gen::export_native_metrics(reg);
       reg.add_counter("rack.requests_injected", injected);
       reg.add_counter("rack.requests_completed", latencies.size());
       reg.add_scalar("rack.throughput_rpkc", throughput);
@@ -282,7 +359,9 @@ int main(int argc, char** argv) {
       liberty::obs::RunMeta meta;
       meta.tool = "rack_sim";
       meta.spec = cfg.tag();
-      meta.scheduler = std::string(sim.scheduler().kind_name());
+      if (live_sim != nullptr) {
+        meta.scheduler = std::string(live_sim->scheduler().kind_name());
+      }
       meta.threads = threads;
       meta.seed = cfg.seed;
       meta.cycles = ran;

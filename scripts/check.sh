@@ -164,6 +164,46 @@ if [ "$clean_digest" != "$recovered_digest" ]; then
 fi
 echo "resilience smoke ok: detected, rolled back, $recovered_digest"
 
+# Crash-recovery smoke: run with durable checkpoints, SIGKILL the process
+# mid-run, resume from the newest checkpoint, and require the digest of an
+# uninterrupted run — then tear the newest checkpoint and require the
+# resume to skip it with a diagnostic and still land on the same digest
+# (docs/resilience.md, "Durable checkpoints").
+echo "=== crash-recovery smoke ==="
+ck_dir="$smoke_dir/ckpts"
+clean_run="$(./build/examples/lss_run examples/specs/pipeline.lss \
+  --cycles 400 --digest --quiet | grep '^digest:')"
+kill_status=0
+./build/examples/lss_run examples/specs/pipeline.lss --cycles 400 \
+  --checkpoint-dir "$ck_dir" --checkpoint-every 50 --kill-at 230 \
+  --digest --quiet >/dev/null 2>&1 || kill_status=$?
+if [ "$kill_status" -ne 137 ]; then
+  echo "--kill-at 230 did not SIGKILL the run (exit $kill_status)" >&2
+  exit 1
+fi
+resumed="$(./build/examples/lss_run examples/specs/pipeline.lss \
+  --cycles 400 --checkpoint-dir "$ck_dir" --checkpoint-every 50 --resume \
+  --digest --quiet 2>/dev/null | grep '^digest:')"
+if [ "$clean_run" != "$resumed" ]; then
+  echo "resumed run diverged from the uninterrupted run:" >&2
+  echo "  clean:   $clean_run" >&2
+  echo "  resumed: $resumed" >&2
+  exit 1
+fi
+newest="$(ls "$ck_dir"/ckpt-*.lck | sort | tail -1)"
+dd if=/dev/null of="$newest" bs=1 seek=21 2>/dev/null  # torn write
+resumed2="$(./build/examples/lss_run examples/specs/pipeline.lss \
+  --cycles 400 --checkpoint-dir "$ck_dir" --checkpoint-every 50 --resume \
+  --digest --quiet 2>"$smoke_dir/resume2.err" | grep '^digest:')"
+grep -q 'torn write' "$smoke_dir/resume2.err"
+if [ "$clean_run" != "$resumed2" ]; then
+  echo "resume after a torn newest checkpoint diverged:" >&2
+  echo "  clean:   $clean_run" >&2
+  echo "  resumed: $resumed2" >&2
+  exit 1
+fi
+echo "crash-recovery smoke ok: killed at 230, resumed, $resumed"
+
 # Rack-scenario smoke: the flagship full-system scenario (docs/scenarios.md)
 # must land on identical trace + state digests under the dynamic and
 # compiled schedulers, and its metrics export must carry the rack.*

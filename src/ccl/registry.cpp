@@ -1,11 +1,54 @@
+#include <typeindex>
+
 #include "liberty/ccl/ccl.hpp"
+#include "liberty/core/checkpoint.hpp"
 
 namespace liberty::ccl {
 
+using liberty::core::ByteReader;
+using liberty::core::ByteWriter;
 using liberty::core::ModuleRegistry;
 using liberty::core::simple_factory;
 
+namespace {
+
+void register_payload_codecs() {
+  core::register_payload_codec(
+      "ccl.flit", std::type_index(typeid(Flit)),
+      [](const Payload& p, ByteWriter& w) {
+        const auto& f = static_cast<const Flit&>(p);
+        w.put_u64(f.packet);
+        w.put_u64(f.src);
+        w.put_u64(f.dst);
+        w.put_u64(f.born);
+        w.put_u64(f.vc);
+        w.put_u8(f.head ? 1 : 0);
+        w.put_u8(f.tail ? 1 : 0);
+        w.put_u64(f.hops);
+        core::encode_value(w, f.body);
+      },
+      [](ByteReader& r) {
+        const std::uint64_t packet = r.get_u64();
+        const auto src = static_cast<std::size_t>(r.get_u64());
+        const auto dst = static_cast<std::size_t>(r.get_u64());
+        const std::uint64_t born = r.get_u64();
+        const auto vc = static_cast<std::size_t>(r.get_u64());
+        const bool head = r.get_u8() != 0;
+        const bool tail = r.get_u8() != 0;
+        const std::uint64_t hops = r.get_u64();
+        Value body = core::decode_value(r);
+        // hops is post-construction state (Flit::hopped), not a ctor arg.
+        auto f = std::make_shared<Flit>(packet, src, dst, born, vc, head,
+                                        tail, std::move(body));
+        f->hops = hops;
+        return Value(std::shared_ptr<const Payload>(std::move(f)));
+      });
+}
+
+}  // namespace
+
 void register_ccl(ModuleRegistry& r) {
+  register_payload_codecs();
   r.register_template("ccl.router", "VC wormhole router with Orion power",
                       simple_factory<Router>());
   r.register_template("ccl.link", "pipelined link with energy model",

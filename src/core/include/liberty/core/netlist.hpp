@@ -86,6 +86,14 @@ class Netlist {
     stop_flag_.store(v, std::memory_order_relaxed);
   }
 
+  /// Structural fingerprint of the elaborated netlist: instance names,
+  /// connection endpoints/refs, ack modes, and quarantine state.  Two
+  /// netlists with equal hashes are state-compatible for checkpoint
+  /// restore (same module order, same save/load layout *shape*).  The hash
+  /// deliberately avoids typeid names so it is stable across compilers —
+  /// a durable checkpoint written by one build loads in another.
+  [[nodiscard]] std::uint64_t topology_hash() const;
+
   /// Dump all module statistics, one line per stat, prefixed by instance
   /// name.
   void dump_stats(std::ostream& os) const;

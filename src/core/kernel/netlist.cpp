@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "liberty/core/state.hpp"
 #include "liberty/support/error.hpp"
 
 namespace liberty::core {
@@ -132,6 +133,33 @@ std::size_t Netlist::quarantined_count() const noexcept {
   std::size_t n = 0;
   for (const char q : quarantined_) n += (q != 0) ? 1 : 0;
   return n;
+}
+
+std::uint64_t Netlist::topology_hash() const {
+  // FNV-1a over the structural description (see header: stable across
+  // compilers, so deliberately no typeid names).
+  std::uint64_t h = kFnv1aInit;
+  const auto mix_str = [&h](const std::string& s) {
+    h = fnv1a_mix(h, s.size());
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+  };
+  h = fnv1a_mix(h, modules_.size());
+  for (const auto& m : modules_) {
+    mix_str(m->name());
+    h = fnv1a_mix(h, is_quarantined(m->id()) ? 1 : 0);
+  }
+  h = fnv1a_mix(h, conns_.size());
+  for (const auto& c : conns_) {
+    mix_str(c->producer() != nullptr ? c->producer()->name() : std::string());
+    mix_str(c->producer_ref());
+    mix_str(c->consumer() != nullptr ? c->consumer()->name() : std::string());
+    mix_str(c->consumer_ref());
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(c->ack_mode()));
+  }
+  return h;
 }
 
 void Netlist::dump_stats(std::ostream& os) const {

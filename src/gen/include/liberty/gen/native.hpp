@@ -26,6 +26,10 @@
 
 #include "liberty/gen/compiled_scheduler.hpp"
 
+namespace liberty::obs {
+class MetricsRegistry;
+}
+
 namespace liberty::gen {
 
 /// Process-wide knobs for the native backend, read at scheduler
@@ -54,6 +58,24 @@ struct NativeOptions {
 /// do not count; the cache-hygiene test asserts it stays flat across a
 /// second elaboration of the same netlist).
 [[nodiscard]] std::uint64_t native_compile_invocations() noexcept;
+
+// Hostile-toolchain counters (docs/codegen.md, "Cache hygiene").  All read
+// zero in -DLIBERTY_NATIVE_CODEGEN=OFF builds and count process-wide.
+
+/// Cached artifacts reused after passing manifest validation.
+[[nodiscard]] std::uint64_t native_cache_hits() noexcept;
+/// Cached artifacts renamed aside (truncated, content-hash mismatch, stale
+/// ABI, missing manifest, or undlopenable) instead of being trusted.
+[[nodiscard]] std::uint64_t native_cache_quarantined() noexcept;
+/// Compiler invocations that were retries of a failed/timed-out attempt.
+[[nodiscard]] std::uint64_t native_compile_retries() noexcept;
+/// Compiler invocations killed at the wall-clock deadline
+/// (LIBERTY_NATIVE_COMPILE_TIMEOUT_MS, default 60000).
+[[nodiscard]] std::uint64_t native_compile_timeouts() noexcept;
+
+/// Export the stable gen.native.cache.* counters (hits, quarantined,
+/// compile_retries, compile_timeouts, compiles) into `reg`.
+void export_native_metrics(obs::MetricsRegistry& reg);
 
 /// Content-address of one built artifact: FNV-1a over the generated
 /// source, the compiler identification line, and the backend -O level.

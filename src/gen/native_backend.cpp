@@ -8,15 +8,33 @@
 // Every failure mode — no compiler, compile error, dlopen or symbol
 // failure, ABI mismatch, or the LIBERTY_NATIVE_FORCE_FAIL=1 test override
 // — is reported as one reason string; the scheduler degrades to bytecode.
+//
+// Hostile-toolchain hardening (docs/codegen.md, "Cache hygiene"):
+//
+//   * every compiler invocation runs in its own process group under a
+//     wall-clock deadline (LIBERTY_NATIVE_COMPILE_TIMEOUT_MS, default
+//     60000); a hung driver is SIGKILLed group-wide, counted, and retried
+//     once after a short exponential backoff before the run degrades;
+//   * each published artifact carries a sidecar manifest (<so>.meta:
+//     ABI version, byte size, FNV-1a content hash) written with the same
+//     tmp+rename discipline.  A cache hit validates the manifest before
+//     dlopen; a truncated, tampered, stale-ABI, or manifest-less artifact
+//     is *quarantined* — renamed aside, never deleted, never trusted —
+//     and the run degrades to bytecode with a single diagnostic.
 #include <dlfcn.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "liberty/gen/native.hpp"
 #include "native_impl.hpp"
@@ -86,6 +104,187 @@ std::string hex_key(std::uint64_t key) {
   return buf;
 }
 
+std::int64_t compile_timeout_ms() {
+  if (const char* env = std::getenv("LIBERTY_NATIVE_COMPILE_TIMEOUT_MS");
+      env != nullptr && env[0] != '\0') {
+    const long long v = std::atoll(env);
+    if (v > 0) return v;
+  }
+  return 60000;
+}
+
+/// Run `command` through /bin/sh under a wall-clock deadline.  The child
+/// becomes its own process group so a deadline kill takes out the whole
+/// compiler pipeline (driver, cc1plus, ld), not just the shell.  Returns
+/// the shell's exit status, or -1 (with `timed_out` set) on a kill.
+int run_with_deadline(const std::string& command, std::int64_t timeout_ms,
+                      bool& timed_out) {
+  timed_out = false;
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    ::setpgid(0, 0);
+    ::execl("/bin/sh", "sh", "-c", command.c_str(),
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::setpgid(pid, pid);  // best-effort; the child races us doing the same
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::int64_t poll_us = 1000;
+  for (;;) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+    if (r < 0 && errno != EINTR) return -1;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      timed_out = true;
+      ::kill(-pid, SIGKILL);
+      ::kill(pid, SIGKILL);  // in case the setpgid race was lost
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(poll_us));
+    if (poll_us < 20000) poll_us *= 2;
+  }
+}
+
+// --- Artifact manifests -----------------------------------------------------
+//
+// The content-addressed *name* proves which source the artifact was built
+// from; the manifest proves the file on disk is the one that was published
+// — a crash or disk fault mid-copy, a partially synced cache share, or a
+// hand-edited file all fail validation and get renamed aside.
+
+constexpr std::string_view kManifestHeader = "liberty-native-manifest 1";
+
+fs::path manifest_path(const fs::path& so) { return so.string() + ".meta"; }
+
+/// FNV-1a over the file's bytes.  False when the file cannot be read.
+bool hash_file(const fs::path& p, std::uint64_t& hash, std::uint64_t& size) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  hash = 1469598103934665603ull;
+  size = 0;
+  char buf[4096];
+  while (in) {
+    in.read(buf, sizeof buf);
+    const std::streamsize n = in.gcount();
+    if (n <= 0) break;
+    for (std::streamsize i = 0; i < n; ++i) {
+      hash ^= static_cast<unsigned char>(buf[i]);
+      hash *= 1099511628211ull;
+    }
+    size += static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort: a manifest that cannot be written costs one future
+/// quarantine+recompile, never the current run.
+void write_manifest(const fs::path& so) {
+  std::uint64_t hash = 0;
+  std::uint64_t size = 0;
+  if (!hash_file(so, hash, size)) return;
+  const fs::path meta = manifest_path(so);
+  const fs::path tmp = meta.string() + ".tmp." +
+                       std::to_string(static_cast<unsigned>(::getpid()));
+  {
+    std::ofstream out(tmp);
+    out << kManifestHeader << "\n"
+        << "abi " << kLnAbiVersion << "\n"
+        << "size " << size << "\n"
+        << "fnv " << hex_key(hash) << "\n";
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, meta, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+/// Validate a cached artifact against its sidecar manifest.  On failure
+/// `reason` says exactly what disqualified it (the shared message path of
+/// the lss_run / rack_sim degradation diagnostic).
+bool validate_manifest(const fs::path& so, std::string& reason) {
+  std::ifstream in(manifest_path(so));
+  if (!in) {
+    reason = "no manifest sidecar (artifact predates the manifest format "
+             "or was copied in by hand)";
+    return false;
+  }
+  std::string header;
+  std::getline(in, header);
+  if (header != kManifestHeader) {
+    reason = "unrecognized manifest header '" + header + "'";
+    return false;
+  }
+  unsigned long long abi = 0;
+  unsigned long long size = 0;
+  std::uint64_t hash = 0;
+  bool have_abi = false;
+  bool have_size = false;
+  bool have_hash = false;
+  std::string field;
+  while (in >> field) {
+    if (field == "abi" && (in >> abi)) {
+      have_abi = true;
+    } else if (field == "size" && (in >> size)) {
+      have_size = true;
+    } else if (field == "fnv") {
+      std::string hex;
+      if (in >> hex && !hex.empty()) {
+        char* end = nullptr;
+        hash = std::strtoull(hex.c_str(), &end, 16);
+        have_hash = end != nullptr && *end == '\0';
+      }
+    }
+  }
+  if (!have_abi || !have_size || !have_hash) {
+    reason = "manifest is missing fields (torn manifest write?)";
+    return false;
+  }
+  if (abi != kLnAbiVersion) {
+    reason = "manifest records ABI v" + std::to_string(abi) +
+             ", host expects v" + std::to_string(kLnAbiVersion);
+    return false;
+  }
+  std::uint64_t actual_hash = 0;
+  std::uint64_t actual_size = 0;
+  if (!hash_file(so, actual_hash, actual_size)) {
+    reason = "artifact unreadable";
+    return false;
+  }
+  if (actual_size != size) {
+    reason = "truncated: artifact is " + std::to_string(actual_size) +
+             " bytes, manifest records " + std::to_string(size);
+    return false;
+  }
+  if (actual_hash != hash) {
+    reason = "content hash mismatch (corrupt or tampered artifact)";
+    return false;
+  }
+  return true;
+}
+
+/// Rename a distrusted artifact (and its manifest) aside.  Kept, not
+/// deleted: the bytes are evidence.  A later run with the same cache key
+/// recompiles into the now-vacant slot.
+void quarantine_artifact(const fs::path& so) {
+  std::error_code ec;
+  fs::rename(so, so.string() + ".quarantined", ec);
+  if (ec) fs::remove(so, ec);  // rename-proof filesystems: evict instead
+  fs::rename(manifest_path(so), manifest_path(so).string() + ".quarantined",
+             ec);
+  detail::cache_quarantine_counter().fetch_add(1, std::memory_order_relaxed);
+}
+
 bool resolve_symbols(LoadedImage& img, std::string& err) {
   const auto sym = [&](const char* name) -> void* {
     void* p = ::dlsym(img.dl, name);
@@ -144,19 +343,42 @@ bool compile_artifact(const std::string& cxx, const fs::path& cpp,
   cmd << quoted(cxx) << " -std=c++17 -shared -fPIC -O" << opt << " -o "
       << quoted(tmp_so.string()) << " " << quoted(cpp.string()) << " > "
       << quoted(log.string()) << " 2>&1";
-  detail::compile_invocation_counter().fetch_add(1,
-                                                 std::memory_order_relaxed);
-  const int rc = std::system(cmd.str().c_str());
-  if (rc != 0) {
-    std::string first_line;
-    std::ifstream in(log);
-    std::getline(in, first_line);
-    err = "host compiler exited with status " + std::to_string(rc);
-    if (!first_line.empty()) err += ": " + first_line;
+
+  // A hung or transiently failing toolchain gets one retry after a short
+  // exponential backoff; a second failure degrades the run to bytecode.
+  const std::int64_t timeout_ms = compile_timeout_ms();
+  constexpr int kMaxAttempts = 2;
+  std::int64_t backoff_ms = 100;
+  for (int attempt = 1;; ++attempt) {
+    detail::compile_invocation_counter().fetch_add(1,
+                                                   std::memory_order_relaxed);
+    bool timed_out = false;
+    const int rc = run_with_deadline(cmd.str(), timeout_ms, timed_out);
+    if (!timed_out && rc == 0) break;
+
     std::error_code ec;
     fs::remove(tmp_so, ec);
-    return false;
+    if (timed_out) {
+      detail::compile_timeout_counter().fetch_add(1,
+                                                  std::memory_order_relaxed);
+      err = "host compiler exceeded the " + std::to_string(timeout_ms) +
+            "ms wall-clock deadline (killed)";
+    } else {
+      std::string first_line;
+      std::ifstream in(log);
+      std::getline(in, first_line);
+      err = "host compiler exited with status " + std::to_string(rc);
+      if (!first_line.empty()) err += ": " + first_line;
+    }
+    if (attempt >= kMaxAttempts) {
+      err += " (after " + std::to_string(attempt) + " attempts)";
+      return false;
+    }
+    detail::compile_retry_counter().fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms *= 2;
   }
+
   // Atomic publication: concurrent processes race to rename, last one
   // wins, every winner's file has identical content (same cache key).
   std::error_code ec;
@@ -166,6 +388,7 @@ bool compile_artifact(const std::string& cxx, const fs::path& cpp,
     fs::remove(tmp_so, ec);
     return false;
   }
+  write_manifest(so);
   return true;
 }
 
@@ -202,7 +425,26 @@ bool load_native_image(const std::string& source, LoadedImage& img,
   const fs::path so = dir / ("ln_" + hex_key(key) + ".so");
   const fs::path cpp = dir / ("ln_" + hex_key(key) + ".cpp");
 
-  if (fs::exists(so, ec) && dlopen_artifact(so, img, err)) {
+  if (fs::exists(so, ec)) {
+    // Cache hit, maybe: trust nothing until the manifest checks out.  A
+    // distrusted artifact is quarantined and the run degrades to bytecode
+    // (recompiling here would mask the corruption — the operator should
+    // see the diagnostic once, not an unexplained cache rebuild).
+    std::string reason;
+    if (!validate_manifest(so, reason)) {
+      quarantine_artifact(so);
+      err = "cached artifact " + so.filename().string() +
+            " failed validation: " + reason + "; quarantined";
+      return false;
+    }
+    if (!dlopen_artifact(so, img, err)) {
+      quarantine_artifact(so);
+      err = "cached artifact " + so.filename().string() +
+            " passed its manifest but failed to load: " + err +
+            "; quarantined";
+      return false;
+    }
+    detail::cache_hit_counter().fetch_add(1, std::memory_order_relaxed);
     return true;  // cache hit: no compiler invocation
   }
   err.clear();

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "liberty/gen/native.hpp"
+#include "liberty/obs/metrics.hpp"
 
 namespace liberty::gen {
 
@@ -23,10 +24,56 @@ std::atomic<std::uint64_t>& compile_invocation_counter() {
   return counter;
 }
 
+std::atomic<std::uint64_t>& cache_hit_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+std::atomic<std::uint64_t>& cache_quarantine_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+std::atomic<std::uint64_t>& compile_retry_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+std::atomic<std::uint64_t>& compile_timeout_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
 }  // namespace detail
 
 std::uint64_t native_compile_invocations() noexcept {
   return detail::compile_invocation_counter().load(std::memory_order_relaxed);
+}
+
+std::uint64_t native_cache_hits() noexcept {
+  return detail::cache_hit_counter().load(std::memory_order_relaxed);
+}
+
+std::uint64_t native_cache_quarantined() noexcept {
+  return detail::cache_quarantine_counter().load(std::memory_order_relaxed);
+}
+
+std::uint64_t native_compile_retries() noexcept {
+  return detail::compile_retry_counter().load(std::memory_order_relaxed);
+}
+
+std::uint64_t native_compile_timeouts() noexcept {
+  return detail::compile_timeout_counter().load(std::memory_order_relaxed);
+}
+
+void export_native_metrics(obs::MetricsRegistry& reg) {
+  reg.add_counter("gen.native.cache.hits", native_cache_hits());
+  reg.add_counter("gen.native.cache.quarantined", native_cache_quarantined());
+  reg.add_counter("gen.native.cache.compile_retries",
+                  native_compile_retries());
+  reg.add_counter("gen.native.cache.compile_timeouts",
+                  native_compile_timeouts());
+  reg.add_counter("gen.native.cache.compiles", native_compile_invocations());
 }
 
 std::uint64_t native_cache_key(std::string_view source,

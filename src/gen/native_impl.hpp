@@ -139,6 +139,12 @@ namespace detail {
 /// Bumped by the toolchain driver once per host-compiler invocation
 /// (defined with the options block so OFF builds read zero).
 std::atomic<std::uint64_t>& compile_invocation_counter();
+/// Validated cache reuses / artifacts renamed aside / retried invocations /
+/// deadline kills — same definition site, same OFF-build-reads-zero rule.
+std::atomic<std::uint64_t>& cache_hit_counter();
+std::atomic<std::uint64_t>& cache_quarantine_counter();
+std::atomic<std::uint64_t>& compile_retry_counter();
+std::atomic<std::uint64_t>& compile_timeout_counter();
 
 }  // namespace detail
 

@@ -1,11 +1,68 @@
+#include <typeindex>
+
+#include "liberty/core/checkpoint.hpp"
 #include "liberty/pcl/pcl.hpp"
 
 namespace liberty::pcl {
 
+using liberty::core::ByteReader;
+using liberty::core::ByteWriter;
 using liberty::core::ModuleRegistry;
 using liberty::core::simple_factory;
 
+namespace {
+
+// Durable-checkpoint codecs for the PCL payloads (docs/resilience.md).
+// Wire names are stable: the golden checkpoint embeds them forever.
+void register_payload_codecs() {
+  core::register_payload_codec(
+      "pcl.memreq", std::type_index(typeid(MemReq)),
+      [](const Payload& p, ByteWriter& w) {
+        const auto& m = static_cast<const MemReq&>(p);
+        w.put_u8(static_cast<std::uint8_t>(m.op));
+        w.put_u64(m.addr);
+        w.put_i64(m.data);
+        w.put_u64(m.tag);
+      },
+      [](ByteReader& r) {
+        const auto op = static_cast<MemReq::Op>(r.get_u8());
+        const std::uint64_t addr = r.get_u64();
+        const std::int64_t data = r.get_i64();
+        const std::uint64_t tag = r.get_u64();
+        return Value::make<MemReq>(op, addr, data, tag);
+      });
+  core::register_payload_codec(
+      "pcl.memresp", std::type_index(typeid(MemResp)),
+      [](const Payload& p, ByteWriter& w) {
+        const auto& m = static_cast<const MemResp&>(p);
+        w.put_u64(m.tag);
+        w.put_i64(m.data);
+        w.put_u8(m.was_write ? 1 : 0);
+      },
+      [](ByteReader& r) {
+        const std::uint64_t tag = r.get_u64();
+        const std::int64_t data = r.get_i64();
+        const bool was_write = r.get_u8() != 0;
+        return Value::make<MemResp>(tag, data, was_write);
+      });
+  core::register_payload_codec(
+      "pcl.stamped", std::type_index(typeid(Stamped)),
+      [](const Payload& p, ByteWriter& w) {
+        const auto& s = static_cast<const Stamped&>(p);
+        core::encode_value(w, s.inner);
+        w.put_u64(s.born);
+      },
+      [](ByteReader& r) {
+        Value inner = core::decode_value(r);
+        const std::uint64_t born = r.get_u64();
+        return Value::make<Stamped>(std::move(inner), born);
+      });
+}
+
+}  // namespace
+
 void register_pcl(ModuleRegistry& r) {
+  register_payload_codecs();
   r.register_template("pcl.source", "configurable value producer",
                       simple_factory<Source>());
   r.register_template("pcl.sink", "value consumer with latency stats",

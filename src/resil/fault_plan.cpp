@@ -24,8 +24,8 @@ namespace {
 }
 
 constexpr std::string_view kClassNames[kFaultClassCount] = {
-    "corrupt_data", "drop_enable",  "stuck_channel",
-    "drop_ack",     "spurious_ack", "handler_throw",
+    "corrupt_data", "drop_enable",  "stuck_channel",   "drop_ack",
+    "spurious_ack", "handler_throw", "torn_checkpoint", "checkpoint_enospc",
 };
 
 }  // namespace
@@ -40,13 +40,16 @@ FaultClass fault_class_from_name(std::string_view name) {
   }
   throw liberty::Error("unknown fault class '" + std::string(name) +
                        "' (expected corrupt_data|drop_enable|stuck_channel|"
-                       "drop_ack|spurious_ack|handler_throw)");
+                       "drop_ack|spurious_ack|handler_throw|torn_checkpoint|"
+                       "checkpoint_enospc)");
 }
 
 std::string FaultSpec::describe() const {
   std::string s(fault_class_name(cls));
   if (cls == FaultClass::HandlerThrow) {
     s += " on module '" + module + "'";
+  } else if (is_env_fault(cls)) {
+    s += " on the checkpoint path";
   } else {
     s += " on connection " + std::to_string(connection);
   }
@@ -69,7 +72,7 @@ std::string FaultPlan::to_json() const {
     w.field("class", fault_class_name(f.cls));
     if (f.cls == FaultClass::HandlerThrow) {
       w.field("module", f.module);
-    } else {
+    } else if (!is_env_fault(f.cls)) {
       w.field("connection", static_cast<std::uint64_t>(f.connection));
     }
     w.field("from_cycle", static_cast<std::uint64_t>(f.from_cycle));
@@ -116,7 +119,9 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
       throw liberty::Error("fault plan: fault entry missing \"class\"");
     }
     f.cls = fault_class_from_name(cls->string);
-    if (f.cls == FaultClass::HandlerThrow) {
+    if (is_env_fault(f.cls)) {
+      // Environment faults target the checkpoint path, not the netlist.
+    } else if (f.cls == FaultClass::HandlerThrow) {
       const obs::JsonValue* mod = jf.get("module");
       if (mod == nullptr || !mod->is_string() || mod->string.empty()) {
         throw liberty::Error("fault plan: handler_throw requires \"module\"");

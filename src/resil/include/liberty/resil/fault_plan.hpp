@@ -21,6 +21,14 @@
 //   drop_ack       acks are forced to "refuses" (a deaf consumer link)
 //   spurious_ack   acks are forced to "accepts" (a chattering consumer)
 //   handler_throw  a module's handler fails outright at cycle start
+//
+// Environment fault classes target the durability layer rather than the
+// simulated system (the DurableSupervisor queries them at spill time, so
+// the checkpoint path itself runs under deterministic seeded injection):
+//
+//   torn_checkpoint    checkpoint writes are truncated at a seeded length
+//                      (a crash mid-write; recovery must skip the file)
+//   checkpoint_enospc  checkpoint writes fail outright (a full run dir)
 #pragma once
 
 #include <cstdint>
@@ -46,18 +54,26 @@ enum class FaultClass : std::uint8_t {
   DropAck,
   SpuriousAck,
   HandlerThrow,
+  TornCheckpoint,
+  CheckpointEnospc,
 };
 
-inline constexpr std::size_t kFaultClassCount = 6;
+inline constexpr std::size_t kFaultClassCount = 8;
 
 /// Stable wire name of a fault class ("corrupt_data", "drop_ack", ...).
 [[nodiscard]] std::string_view fault_class_name(FaultClass cls) noexcept;
 /// Inverse of fault_class_name; throws liberty::Error on unknown names.
 [[nodiscard]] FaultClass fault_class_from_name(std::string_view name);
+/// Environment-fault classes perturb the durability layer (checkpoint
+/// writes), not the simulated system; they target no connection or module.
+[[nodiscard]] constexpr bool is_env_fault(FaultClass cls) noexcept {
+  return cls == FaultClass::TornCheckpoint ||
+         cls == FaultClass::CheckpointEnospc;
+}
 /// Channel-fault classes perturb a connection; HandlerThrow targets a
-/// module instead.
+/// module and environment classes target the checkpoint path instead.
 [[nodiscard]] constexpr bool is_channel_fault(FaultClass cls) noexcept {
-  return cls != FaultClass::HandlerThrow;
+  return cls != FaultClass::HandlerThrow && !is_env_fault(cls);
 }
 
 struct FaultSpec {

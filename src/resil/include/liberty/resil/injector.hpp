@@ -74,12 +74,19 @@ class FaultInjector final : public core::FaultHook {
   /// Mask every channel spec on connection `id`.
   int mask_connection(core::ConnId id);
 
+  /// Environment-fault query (DurableSupervisor, at spill time): does an
+  /// unmasked spec of env class `cls` afflict `cycle` under the bound
+  /// scheduler?  Records the application when it does.  Call between
+  /// cycles only (main thread).
+  [[nodiscard]] bool env_fault_fires(FaultClass cls, core::Cycle cycle);
+
   /// Sites that actually fired so far (attribution for reports).
   [[nodiscard]] std::vector<InjectionSite> sites() const;
 
  private:
   void rebuild_tables();
   void note_applied(std::int32_t spec_index);
+  void note_applied_at(std::int32_t spec_index, core::Cycle cycle);
   [[nodiscard]] Value substitute(core::ConnId conn, core::Cycle cycle) const;
 
   FaultPlan plan_;

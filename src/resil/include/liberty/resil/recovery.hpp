@@ -81,7 +81,7 @@ class Supervisor {
   /// replay the fault.
   Supervisor(core::Netlist& netlist, SupervisorConfig cfg,
              FaultInjector* injector = nullptr, Watchdog* watchdog = nullptr);
-  ~Supervisor();
+  virtual ~Supervisor();
 
   Supervisor(const Supervisor&) = delete;
   Supervisor& operator=(const Supervisor&) = delete;
@@ -92,7 +92,18 @@ class Supervisor {
 
   [[nodiscard]] core::Simulator* simulator() noexcept { return sim_.get(); }
 
- private:
+ protected:
+  // Extension seams for durable supervision (resil/durable.hpp).  All three
+  // run between cycles on the main thread, with sim_ built and valid.
+  /// After build_simulator(), before the initial checkpoint — a durable
+  /// subclass restores the newest valid on-disk checkpoint here.
+  virtual void on_run_start(RecoveryReport& rep) { (void)rep; }
+  /// After every in-memory take_checkpoint() — a durable subclass spills
+  /// checkpoint_ to disk here.
+  virtual void on_checkpoint(RecoveryReport& rep) { (void)rep; }
+  /// After every successfully committed cycle (not after rollbacks).
+  virtual void on_cycle_committed(core::Cycle now) { (void)now; }
+
   void build_simulator();
   void take_checkpoint();
   /// React to an aborted cycle at `at`; returns false to give up.

@@ -130,6 +130,11 @@ class TraceRecorder final : public ChainedProbe {
   /// Drop entries at cycle >= `cycle` (rollback truncation).
   void truncate(core::Cycle cycle);
   void clear() { hashes_.clear(); }
+  /// Seed the per-cycle hash prefix from a durable checkpoint, so a
+  /// resumed run reproduces the uninterrupted run's full trace digest.
+  void preload(std::vector<std::uint64_t> prefix) {
+    hashes_ = std::move(prefix);
+  }
 
  private:
   const core::Netlist* netlist_;

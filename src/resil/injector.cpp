@@ -66,18 +66,40 @@ void FaultInjector::rebuild_tables() {
       case FaultClass::HandlerThrow:
         handler_specs_.push_back(idx);
         break;
+      case FaultClass::TornCheckpoint:
+      case FaultClass::CheckpointEnospc:
+        // Environment faults have no kernel-seam dispatch entry; the
+        // DurableSupervisor polls them via env_fault_fires.
+        break;
     }
   }
 }
 
 void FaultInjector::note_applied(std::int32_t spec_index) {
+  note_applied_at(spec_index, cycle_);
+}
+
+void FaultInjector::note_applied_at(std::int32_t spec_index,
+                                    core::Cycle cycle) {
   applications_[spec_index].fetch_add(1, std::memory_order_relaxed);
   auto& first = first_cycle_[spec_index];
   std::uint64_t prev = first.load(std::memory_order_relaxed);
-  const auto cyc = static_cast<std::uint64_t>(cycle_);
+  const auto cyc = static_cast<std::uint64_t>(cycle);
   while (cyc < prev &&
          !first.compare_exchange_weak(prev, cyc, std::memory_order_relaxed)) {
   }
+}
+
+bool FaultInjector::env_fault_fires(FaultClass cls, core::Cycle cycle) {
+  bool fires = false;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& f = plan_.faults[i];
+    if (f.cls != cls || f.masked || cycle < f.from_cycle) continue;
+    if (!f.scheduler.empty() && f.scheduler != sched_kind_) continue;
+    note_applied_at(static_cast<std::int32_t>(i), cycle);
+    fires = true;
+  }
+  return fires;
 }
 
 Value FaultInjector::substitute(core::ConnId conn, core::Cycle cycle) const {

@@ -157,7 +157,9 @@ RecoveryReport Supervisor::run(core::Cycle cycles) {
   RecoveryReport rep;
   build_simulator();
   netlist_.clear_stop();
+  on_run_start(rep);
   take_checkpoint();
+  on_checkpoint(rep);
 
   while (sim_->now() < cycles && !netlist_.stop_requested()) {
     bool aborted = false;
@@ -176,9 +178,13 @@ RecoveryReport Supervisor::run(core::Cycle cycles) {
       }
       aborted = true;
     }
-    if (!aborted && cfg_.checkpoint_every != 0 &&
-        sim_->now() % cfg_.checkpoint_every == 0) {
-      take_checkpoint();
+    if (!aborted) {
+      if (cfg_.checkpoint_every != 0 &&
+          sim_->now() % cfg_.checkpoint_every == 0) {
+        take_checkpoint();
+        on_checkpoint(rep);
+      }
+      on_cycle_committed(sim_->now());
     }
   }
 

@@ -4,10 +4,12 @@
 // snapshot/restore.  The cache-key unit tests run in every build; the
 // rest skip cleanly when LIBERTY_NATIVE_CODEGEN is OFF.
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -258,6 +260,75 @@ TEST_F(NativeTest, MidFlightSnapshotRestoreReplaysIdentically) {
   Simulator dyn(ref, SchedulerKind::Dynamic);
   dyn.run(125);
   EXPECT_EQ(dyn.snapshot().digest(), first);
+}
+
+TEST_F(NativeTest, TruncatedCacheArtifactIsQuarantinedAndRunDegrades) {
+  const auto build_once = [] {
+    Netlist nl;
+    build_chains(nl, /*with_residue=*/false);
+    NativeScheduler sched(nl);
+    return sched.native_active();
+  };
+  ASSERT_TRUE(build_once());  // populate the cache
+
+  // Truncate the cached image, simulating a torn write or partial copy.
+  std::filesystem::path so;
+  for (const auto& e : std::filesystem::directory_iterator(cache_dir_)) {
+    if (e.path().extension() == ".so") so = e.path();
+  }
+  ASSERT_FALSE(so.empty());
+  std::filesystem::resize_file(so, std::filesystem::file_size(so) / 2);
+
+  // The next elaboration detects the size mismatch against the manifest,
+  // quarantines the artifact, and degrades to bytecode — it does NOT
+  // recompile behind the operator's back, and it does not dlopen garbage.
+  const std::uint64_t compiles = liberty::gen::native_compile_invocations();
+  const std::uint64_t quarantined = liberty::gen::native_cache_quarantined();
+  ASSERT_FALSE(build_once());
+  EXPECT_EQ(liberty::gen::native_compile_invocations(), compiles);
+  EXPECT_EQ(liberty::gen::native_cache_quarantined(), quarantined + 1);
+  EXPECT_FALSE(std::filesystem::exists(so));
+  EXPECT_TRUE(std::filesystem::exists(so.string() + ".quarantined"));
+
+  // The degraded run is still bit-identical to dynamic...
+  const RunResult dyn = run_chains(SchedulerKind::Dynamic, false, 0, 300);
+  const RunResult nat = run_chains(SchedulerKind::Native, false, 0, 300);
+  EXPECT_EQ(dyn.transfers, nat.transfers);
+  EXPECT_EQ(dyn.digest, nat.digest);
+
+  // ...and the slot is vacant, so the next elaboration recompiles.
+  ASSERT_TRUE(build_once());
+  EXPECT_GT(liberty::gen::native_compile_invocations(), compiles);
+}
+
+TEST_F(NativeTest, HungCompilerIsKilledRetriedAndDegradesToBytecode) {
+  // A fake compiler that identifies itself but never finishes compiling.
+  const std::string fake = cache_dir_ + "/fakecc";
+  {
+    std::ofstream f(fake);
+    f << "#!/bin/sh\n"
+         "if [ \"$1\" = \"--version\" ]; then echo fakecc 1.0; exit 0; fi\n"
+         "sleep 30\n";
+  }
+  ASSERT_EQ(::chmod(fake.c_str(), 0755), 0);
+  ASSERT_EQ(::setenv("LIBERTY_NATIVE_CXX", fake.c_str(), 1), 0);
+  ASSERT_EQ(::setenv("LIBERTY_NATIVE_COMPILE_TIMEOUT_MS", "150", 1), 0);
+
+  const std::uint64_t compiles = liberty::gen::native_compile_invocations();
+  const std::uint64_t timeouts = liberty::gen::native_compile_timeouts();
+  const std::uint64_t retries = liberty::gen::native_compile_retries();
+  Netlist nl;
+  build_chains(nl, /*with_residue=*/false);
+  NativeScheduler degraded(nl);
+  ::unsetenv("LIBERTY_NATIVE_CXX");
+  ::unsetenv("LIBERTY_NATIVE_COMPILE_TIMEOUT_MS");
+
+  // Both attempts hit the wall-clock deadline and were killed; the retry
+  // was counted; the scheduler fell back to bytecode instead of hanging.
+  EXPECT_FALSE(degraded.native_active());
+  EXPECT_EQ(liberty::gen::native_compile_invocations(), compiles + 2);
+  EXPECT_EQ(liberty::gen::native_compile_timeouts(), timeouts + 2);
+  EXPECT_EQ(liberty::gen::native_compile_retries(), retries + 1);
 }
 
 TEST_F(NativeTest, RackScenarioDigestMatchesDynamic) {

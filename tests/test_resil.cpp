@@ -182,7 +182,8 @@ TEST(FaultPlan, JsonRoundTripEveryClass) {
     f.cls = static_cast<FaultClass>(i);
     if (f.cls == FaultClass::HandlerThrow) {
       f.module = "m" + std::to_string(i);
-    } else {
+    } else if (!liberty::resil::is_env_fault(f.cls)) {
+      // Environment faults target the checkpoint path, not a connection.
       f.connection = static_cast<liberty::core::ConnId>(i);
     }
     f.from_cycle = 10 * i;
@@ -247,6 +248,9 @@ TEST(Injection, IdenticalAcrossSchedulersAndOptLevels) {
                       {SchedulerKind::Parallel, 2, "parallel"}};
   for (std::size_t i = 0; i < liberty::resil::kFaultClassCount; ++i) {
     const auto cls = static_cast<FaultClass>(i);
+    // Environment faults fire on the durable-checkpoint seam, not inside
+    // the kernel; test_durable.cpp proves their determinism.
+    if (liberty::resil::is_env_fault(cls)) continue;
     const FaultPlan plan = plan_for(cls);
     const TracedRun ref =
         run_traced(spec, SchedulerKind::Dynamic, 0, /*opt=*/0, &plan);
@@ -273,6 +277,9 @@ TEST(Injection, FaultedTraceDiffersFromFaultFree) {
   ASSERT_FALSE(clean.aborted);
   for (std::size_t i = 0; i < liberty::resil::kFaultClassCount; ++i) {
     const auto cls = static_cast<FaultClass>(i);
+    // Environment faults never touch the data plane — the trace is the
+    // fault-free one by design (test_durable.cpp covers their effect).
+    if (liberty::resil::is_env_fault(cls)) continue;
     const FaultPlan plan = plan_for(cls);
     const TracedRun faulted =
         run_traced(spec, SchedulerKind::Static, 0, 0, &plan);
